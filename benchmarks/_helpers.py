@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one experiment from DESIGN.md's index (E1-E11),
+prints the paper-style table, and writes it under
+``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from disk.
+Timing is reported by pytest-benchmark; the tables are the scientific
+output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.agents.behaviors import (
+    AlwaysInvertBehavior,
+    ConcealBehavior,
+    HonestBehavior,
+    MisreportBehavior,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, title: str, table: str) -> None:
+    """Print an experiment table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = f"{title}\n{table}\n"
+    print()
+    print(text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+
+def standard_adversary_mix():
+    """The r = 8 collector mix used across experiments: 2 honest, 6 bad."""
+    return [
+        HonestBehavior(),
+        HonestBehavior(),
+        MisreportBehavior(0.4),
+        ConcealBehavior(0.4),
+        AlwaysInvertBehavior(),
+        AlwaysInvertBehavior(),
+        MisreportBehavior(0.8),
+        ConcealBehavior(0.8),
+    ]

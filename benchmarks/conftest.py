@@ -1,0 +1,10 @@
+"""Pytest wiring for the benchmark harness.
+
+Keeps the benchmarks directory on sys.path so bench modules can import
+the shared helpers in ``_helpers.py`` regardless of invocation style.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Extensions showcase: adaptive efficiency, gossip, partial visibility.
+
+Three features this library adds beyond the paper, demonstrated on one
+alliance:
+
+1. **Adaptive f** — an AIMD controller holds the unchecked-mistake rate
+   at a 2 % target while pushing f (and thus efficiency) as high as the
+   collector population allows, and slams f down when sleepers defect.
+2. **Reputation gossip** — governors with partial information import
+   peers' views of a misreporting collector via a signed,
+   geometric-mean fold.
+3. **Partial visibility** — the engine running with governors that each
+   see only a coverage-preserving subset of collectors.
+
+Run:  python examples/adaptive_alliance.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agents.behaviors import HonestBehavior, MisreportBehavior, SleeperBehavior
+from repro.analysis import format_table
+from repro.baselines import PolicySimulation, ReputationPolicy
+from repro.core import (
+    AdaptiveF,
+    ProtocolEngine,
+    ProtocolParams,
+    ReputationGossip,
+    make_summary,
+)
+from repro.ledger.transaction import Label
+from repro.network import Topology, VisibilityMap
+from repro.workloads import BernoulliWorkload
+
+
+def demo_adaptive_f() -> None:
+    print("=== 1. adaptive f: AIMD against a sleeper phase change ===")
+    controller = AdaptiveF(
+        target_mistake_rate=0.02, initial_f=0.3, rate_decay=0.9
+    )
+    collector_ids = [f"c{i}" for i in range(8)]
+    policy = ReputationPolicy(
+        params=ProtocolParams(f=controller.f), collector_ids=collector_ids
+    )
+    behaviors = [HonestBehavior()] * 4 + [
+        SleeperBehavior(1500) for _ in range(4)  # defect at tx 1500
+    ]
+    sim = PolicySimulation(behaviors, horizon=4000, seed=5)
+    rng = np.random.default_rng(6)
+    checkpoints = {750: None, 1500: None, 1700: None, 4000: None}
+    step = 0
+    for truth, labels in sim.stream():
+        step += 1
+        if not labels:
+            continue
+        policy.params = controller.apply_to(policy.params)
+        decision = policy.screen(labels, rng)
+        if not decision.checked:
+            controller.observe_reveal(
+                was_mistake=(decision.recorded_label is not truth)
+            )
+        policy.on_truth(labels, truth, decision.checked)
+        if step in checkpoints:
+            checkpoints[step] = controller.f
+    rows = [(t, f"{f:.3f}") for t, f in checkpoints.items()]
+    print(format_table(["transactions seen", "controller's f"], rows))
+    print("f climbs while everyone is honest, then collapses to the floor")
+    print("when the sleepers defect at tx 1500 — and stays conservative")
+    print("while the recent mistake rate remains above the 2% target.")
+    print(f"all-time mistake rate: {controller.observed_mistake_rate:.4f} "
+          f"(target {controller.target_mistake_rate}, "
+          f"recent {controller.recent_mistake_rate:.4f})")
+    print()
+
+
+def demo_gossip() -> None:
+    print("=== 2. reputation gossip: informing a blind governor ===")
+    from repro.core.reputation import ReputationBook
+    from repro.crypto.identity import IdentityManager, Role
+
+    im = IdentityManager(seed=8)
+    for gid in ("g0", "g1"):
+        im.enroll(gid, Role.GOVERNOR)
+    books = {}
+    for gid in ("g0", "g1"):
+        book = ReputationBook(governor=gid)
+        book.register_collector("liar", ["p0"])
+        book.register_collector("honest", ["p0"])
+        books[gid] = book
+    gossip = ReputationGossip(im=im, alpha=0.4)
+    for t in range(100):
+        books["g0"].apply_revealed_truth(
+            "p0", {"liar": "wrong", "honest": "correct"}, beta=0.9, gamma=0.855
+        )
+        if t % 10 == 9:
+            summaries = [make_summary(im.record(g).key, books[g]) for g in books]
+            for book in books.values():
+                gossip.fold(book, summaries)
+    rows = [
+        (gid, f"{books[gid].weight('liar', 'p0'):.2e}",
+         f"{books[gid].weight('honest', 'p0'):.3f}")
+        for gid in ("g0", "g1")
+    ]
+    print(format_table(["governor", "view of liar", "view of honest"], rows))
+    print("g1 never saw a single reveal — its view of the liar came via gossip.")
+    print()
+
+
+def demo_partial_visibility() -> None:
+    print("=== 3. partial visibility: thin governor views still work ===")
+    topo = Topology.regular(l=12, n=6, m=4, r=3)
+    vmap = VisibilityMap.random_partial(topo, keep_fraction=0.0, seed=9)
+    engine = ProtocolEngine(
+        topo,
+        ProtocolParams(f=0.6),
+        behaviors={"c0": MisreportBehavior(0.6)},
+        seed=10,
+        visibility=vmap,
+        leader_rotation=True,
+    )
+    workload = BernoulliWorkload(topo.providers, p_valid=0.7, seed=11)
+    for _ in range(20):
+        engine.run_round(workload.take(24))
+    engine.finalize()
+    rows = []
+    for gid, gov in sorted(engine.governors.items()):
+        visible = ", ".join(sorted(vmap.collectors_for(gid)))
+        rows.append((gid, visible, gov.metrics.mistakes))
+    print(format_table(["governor", "visible collectors", "mistakes"], rows))
+    print(f"mean visibility: {vmap.mean_visibility(topo):.2f} "
+          f"(coverage constraint keeps every provider screenable)")
+    print(f"chain height: {engine.store.height} — agreement holds under partial views")
+
+
+def main() -> None:
+    demo_adaptive_f()
+    demo_gossip()
+    demo_partial_visibility()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Adversarial collectors vs Theorem 1: watch the regret stay O(sqrt(T)).
+
+Plays the reputation game (one provider, r = 8 collectors, one governor)
+against four adversary mixes, including the reputation-farming "sleeper"
+that behaves perfectly before defecting.  For each mix and horizon the
+script prints the governor's accumulated expected loss, the best
+collector's loss (S_min), the regret, and Theorem 1's bound — the
+measured loss always sits far below the bound as long as one collector
+is honest.
+
+Run:  python examples/adversarial_collectors.py
+"""
+
+from __future__ import annotations
+
+from repro.agents.behaviors import (
+    AlwaysInvertBehavior,
+    ConcealBehavior,
+    FlipFlopBehavior,
+    HonestBehavior,
+    MisreportBehavior,
+    SleeperBehavior,
+)
+from repro.analysis import format_table
+from repro.core.game import ReputationGame
+
+
+MIXES = {
+    "mild noise": lambda: [HonestBehavior()] * 4 + [MisreportBehavior(0.2)] * 4,
+    "half inverted": lambda: [HonestBehavior()] * 4 + [AlwaysInvertBehavior()] * 4,
+    "sleepers": lambda: [HonestBehavior()] * 2
+    + [SleeperBehavior(100) for _ in range(6)],
+    "zoo": lambda: [
+        HonestBehavior(),
+        MisreportBehavior(0.3),
+        ConcealBehavior(0.4),
+        AlwaysInvertBehavior(),
+        FlipFlopBehavior(25),
+        SleeperBehavior(150),
+        MisreportBehavior(0.7),
+        ConcealBehavior(0.8),
+    ],
+}
+
+
+def main() -> None:
+    horizons = [200, 800, 3200]
+    for name, factory in MIXES.items():
+        rows = []
+        for horizon in horizons:
+            game = ReputationGame(
+                behaviors=factory(), horizon=horizon, p_valid=0.5, seed=5
+            )
+            result = game.run()
+            rows.append(
+                (
+                    horizon,
+                    f"{result.expected_loss:.1f}",
+                    f"{result.s_min:.1f}",
+                    f"{result.regret:.1f}",
+                    f"{result.theorem1_rhs():.1f}",
+                    "yes" if result.expected_loss <= result.theorem1_rhs() else "NO",
+                )
+            )
+        print(f"--- adversary mix: {name} ---")
+        print(
+            format_table(
+                ["T", "L_T (governor)", "S_min", "regret", "Thm-1 bound", "within"],
+                rows,
+            )
+        )
+        print()
+
+    # Weight trajectory: how fast does a sleeper fall after defecting?
+    game = ReputationGame(
+        behaviors=[HonestBehavior()] * 2 + [SleeperBehavior(100) for _ in range(6)],
+        horizon=400,
+        seed=5,
+    )
+    result = game.run()
+    print("final collector weights (sleeper mix, T = 400):")
+    rows = [(c, f"{w:.2e}") for c, w in sorted(result.final_weights.items())]
+    print(format_table(["collector", "weight"], rows))
+    print()
+    print("collectors c2..c7 (sleepers) are crushed within ~100 reveals of defecting.")
+
+
+if __name__ == "__main__":
+    main()

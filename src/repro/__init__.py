@@ -1,0 +1,59 @@
+"""repro — reproduction of "An Efficient Permissioned Blockchain with
+Provable Reputation Mechanism" (Chen et al., ICDCS 2021 poster;
+arXiv:2002.06852).
+
+A three-tier permissioned blockchain (providers / collectors /
+governors) with a provable multiplicative-weights reputation mechanism:
+governors skip verification of invalid-labeled transactions with a
+tunable probability ``f`` and still suffer only ``O(sqrt(T))`` more loss
+than the best collector (Theorem 1).
+
+Quickstart::
+
+    from repro import ProtocolEngine, ProtocolParams, Topology
+    from repro.workloads import BernoulliWorkload
+
+    topo = Topology.regular(l=16, n=8, m=4, r=4)
+    engine = ProtocolEngine(topo, ProtocolParams(f=0.5))
+    workload = BernoulliWorkload(topo.providers, p_valid=0.8, seed=7)
+    for _ in range(10):
+        engine.run_round(workload.take(32))
+    engine.finalize()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core import (
+    DEFAULT_PARAMS,
+    ProtocolEngine,
+    ProtocolParams,
+    ReputationBook,
+    ReputationGame,
+    gamma_for,
+    theorem1_bound,
+    tuned_beta,
+)
+from repro.crypto import IdentityManager, Role
+from repro.ledger import Block, Label, Ledger
+from repro.network import Topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Block",
+    "DEFAULT_PARAMS",
+    "IdentityManager",
+    "Label",
+    "Ledger",
+    "ProtocolEngine",
+    "ProtocolParams",
+    "ReputationBook",
+    "ReputationGame",
+    "Role",
+    "Topology",
+    "__version__",
+    "gamma_for",
+    "theorem1_bound",
+    "tuned_beta",
+]

@@ -1,0 +1,229 @@
+"""Collector behaviour models — the adversary space of Section 4.2.
+
+The paper names three classes of collector misbehaviour:
+
+1. **misreport** — upload the opposite label;
+2. **conceal** — fail to report a received transaction;
+3. **forge** — fabricate a transaction.
+
+A behaviour decides, per received transaction, whether to report the
+truth, lie, or stay silent, and how often to attempt forgeries.  All
+randomness flows through the caller-supplied RNG, keeping runs
+reproducible.  Stateful behaviours (flip-flop, sleeper) count their own
+decisions.
+
+Theorem 1 quantifies over arbitrary behaviour as long as *one* collector
+behaves well, so the experiments mix these models freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.ledger.transaction import Label
+
+__all__ = [
+    "CollectorBehavior",
+    "HonestBehavior",
+    "MisreportBehavior",
+    "ConcealBehavior",
+    "ForgeBehavior",
+    "MixedAdversary",
+    "FlipFlopBehavior",
+    "SleeperBehavior",
+    "AlwaysInvertBehavior",
+    "behavior_registry",
+]
+
+
+class CollectorBehavior(Protocol):
+    """Strategy interface for a collector's per-transaction conduct."""
+
+    def label_for(self, true_valid: bool, rng: np.random.Generator) -> Label | None:
+        """The label to upload for a transaction, or None to conceal."""
+        ...
+
+    def should_forge(self, rng: np.random.Generator) -> bool:
+        """Whether to also submit a forged transaction this opportunity."""
+        ...
+
+
+def _check_probability(name: str, p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
+
+
+@dataclass
+class HonestBehavior:
+    """Always report the true label, never forge — the well-behaved collector."""
+
+    def label_for(self, true_valid: bool, rng: np.random.Generator) -> Label | None:
+        return Label.from_bool(true_valid)
+
+    def should_forge(self, rng: np.random.Generator) -> bool:
+        return False
+
+
+@dataclass
+class MisreportBehavior:
+    """Flip the label independently with probability ``p``."""
+
+    p: float
+
+    def __post_init__(self) -> None:
+        _check_probability("misreport probability p", self.p)
+
+    def label_for(self, true_valid: bool, rng: np.random.Generator) -> Label | None:
+        if rng.random() < self.p:
+            return Label.from_bool(not true_valid)
+        return Label.from_bool(true_valid)
+
+    def should_forge(self, rng: np.random.Generator) -> bool:
+        return False
+
+
+@dataclass
+class ConcealBehavior:
+    """Stay silent with probability ``q``; report truthfully otherwise."""
+
+    q: float
+
+    def __post_init__(self) -> None:
+        _check_probability("conceal probability q", self.q)
+
+    def label_for(self, true_valid: bool, rng: np.random.Generator) -> Label | None:
+        if rng.random() < self.q:
+            return None
+        return Label.from_bool(true_valid)
+
+    def should_forge(self, rng: np.random.Generator) -> bool:
+        return False
+
+
+@dataclass
+class ForgeBehavior:
+    """Report honestly but attempt a forgery with probability ``w``."""
+
+    w: float
+
+    def __post_init__(self) -> None:
+        _check_probability("forge probability w", self.w)
+
+    def label_for(self, true_valid: bool, rng: np.random.Generator) -> Label | None:
+        return Label.from_bool(true_valid)
+
+    def should_forge(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.w)
+
+
+@dataclass
+class MixedAdversary:
+    """Independent misreport/conceal/forge rates — the general adversary.
+
+    Conceal is evaluated first (a concealed transaction cannot also be
+    mislabeled), then misreport.
+    """
+
+    p_misreport: float = 0.0
+    p_conceal: float = 0.0
+    p_forge: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_probability("p_misreport", self.p_misreport)
+        _check_probability("p_conceal", self.p_conceal)
+        _check_probability("p_forge", self.p_forge)
+
+    def label_for(self, true_valid: bool, rng: np.random.Generator) -> Label | None:
+        if rng.random() < self.p_conceal:
+            return None
+        if rng.random() < self.p_misreport:
+            return Label.from_bool(not true_valid)
+        return Label.from_bool(true_valid)
+
+    def should_forge(self, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.p_forge)
+
+
+@dataclass
+class FlipFlopBehavior:
+    """Alternate honest/lying phases of ``period`` transactions each.
+
+    A worst-case pattern for naive (windowed-average) reputation schemes;
+    the multiplicative scheme keeps punishing each lying phase.
+    """
+
+    period: int = 10
+    _seen: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ConfigurationError(f"flip-flop period must be >= 1, got {self.period}")
+
+    def label_for(self, true_valid: bool, rng: np.random.Generator) -> Label | None:
+        phase = (self._seen // self.period) % 2
+        self._seen += 1
+        if phase == 0:
+            return Label.from_bool(true_valid)
+        return Label.from_bool(not true_valid)
+
+    def should_forge(self, rng: np.random.Generator) -> bool:
+        return False
+
+
+@dataclass
+class SleeperBehavior:
+    """Behave perfectly for ``honest_prefix`` transactions, then defect.
+
+    Models reputation farming: build weight, then spend it lying with
+    probability ``p_after``.  Theorem 1 still bounds the damage because
+    every wrong sampled label multiplies the sleeper's weight down.
+    """
+
+    honest_prefix: int = 100
+    p_after: float = 1.0
+    _seen: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.honest_prefix < 0:
+            raise ConfigurationError("honest_prefix cannot be negative")
+        _check_probability("p_after", self.p_after)
+
+    def label_for(self, true_valid: bool, rng: np.random.Generator) -> Label | None:
+        self._seen += 1
+        if self._seen <= self.honest_prefix:
+            return Label.from_bool(true_valid)
+        if rng.random() < self.p_after:
+            return Label.from_bool(not true_valid)
+        return Label.from_bool(true_valid)
+
+    def should_forge(self, rng: np.random.Generator) -> bool:
+        return False
+
+
+@dataclass
+class AlwaysInvertBehavior:
+    """Deterministically report the opposite label — maximal misreporting."""
+
+    def label_for(self, true_valid: bool, rng: np.random.Generator) -> Label | None:
+        return Label.from_bool(not true_valid)
+
+    def should_forge(self, rng: np.random.Generator) -> bool:
+        return False
+
+
+def behavior_registry() -> dict[str, type]:
+    """Name -> behaviour class, for config-driven experiment sweeps."""
+    return {
+        "honest": HonestBehavior,
+        "misreport": MisreportBehavior,
+        "conceal": ConcealBehavior,
+        "forge": ForgeBehavior,
+        "mixed": MixedAdversary,
+        "flipflop": FlipFlopBehavior,
+        "sleeper": SleeperBehavior,
+        "invert": AlwaysInvertBehavior,
+    }

@@ -1,0 +1,311 @@
+"""Governor agents — screening, reputation, ledger, argues.
+
+A governor ingests collector uploads (verifying signatures and catching
+forgeries — Algorithm 2's top half), screens each transaction after its
+Δ window closes (Algorithm 2's ``endtime`` arm), updates reputations
+(Algorithm 3), maintains his ledger replica, and serves ``argue``
+requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.arguing import ArgueManager
+from repro.core.params import ProtocolParams
+from repro.core.reputation import ReputationBook
+from repro.core.screening import (
+    ReportSet,
+    ScreeningDecision,
+    decision_to_record,
+    screen_transaction,
+)
+from repro.core.updating import apply_checked_update, apply_forge_update, apply_reveal_update
+from repro.crypto.identity import IdentityManager
+from repro.crypto.signatures import SigningKey
+from repro.exceptions import ProtocolViolationError
+from repro.ledger.chain import Ledger
+from repro.ledger.transaction import (
+    CheckStatus,
+    Label,
+    LabeledTransaction,
+    SignedTransaction,
+    TxRecord,
+)
+from repro.ledger.validation import CountingOracle, ValidityOracle
+from repro.network.topology import Topology
+
+__all__ = ["GovernorMetrics", "Governor"]
+
+
+@dataclass
+class GovernorMetrics:
+    """What this governor spent and suffered, for the experiments.
+
+    ``expected_loss`` accumulates the theorem's ``L_t`` per unchecked
+    transaction; ``realized_loss`` adds 2 per unchecked record whose
+    truth later proved the recorded (invalid) label wrong; ``mistakes``
+    counts those events.
+    """
+
+    uploads_received: int = 0
+    forgeries_caught: int = 0
+    transactions_screened: int = 0
+    validations: int = 0
+    unchecked: int = 0
+    mistakes: int = 0
+    realized_loss: float = 0.0
+    expected_loss: float = 0.0
+    argues_served: int = 0
+
+
+@dataclass
+class Governor:
+    """One governor node.
+
+    Attributes:
+        governor_id: Node id.
+        key: Signing credential.
+        params: Protocol parameters in force.
+        im: Identity Manager handle for ``verify``.
+        oracle: The governor's ``validate`` — wrapped in a
+            :class:`CountingOracle` so validation cost is measured.
+        rng: The governor's private randomness for screening draws.
+    """
+
+    governor_id: str
+    key: SigningKey
+    params: ProtocolParams
+    im: IdentityManager
+    oracle: CountingOracle
+    rng: np.random.Generator
+    book: ReputationBook = field(init=False)
+    ledger: Ledger = field(init=False)
+    argues: ArgueManager = field(init=False)
+    metrics: GovernorMetrics = field(default_factory=GovernorMetrics)
+    # tx_id -> (tx, {collector: label}) for the current round
+    _received: dict[str, tuple[SignedTransaction, dict[str, Label]]] = field(
+        default_factory=dict, repr=False
+    )
+    # tx_id -> decision, for unchecked transactions awaiting truth
+    _pending_unchecked: dict[str, ScreeningDecision] = field(
+        default_factory=dict, repr=False
+    )
+    _linked: dict[str, tuple[str, ...]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.key.owner != self.governor_id:
+            raise ValueError(
+                f"key owner {self.key.owner!r} != governor {self.governor_id!r}"
+            )
+        self.book = ReputationBook(
+            governor=self.governor_id, initial=self.params.initial_reputation
+        )
+        self.ledger = Ledger(owner=self.governor_id)
+        self.argues = ArgueManager(window=self.params.argue_window)
+
+    # -- setup ----------------------------------------------------------
+
+    def register_topology(
+        self, topology: Topology, visible_collectors: frozenset[str] | None = None
+    ) -> None:
+        """Create reputation vectors for the collectors this governor sees.
+
+        Args:
+            topology: The link structure.
+            visible_collectors: Partial-visibility restriction (paper
+                §3.1: "a governor may only perceive partial
+                information"); None means the default full view.  The
+                per-provider linked set — the universe over which the
+                silent mass ``W_0`` is computed — is intersected with
+                the visible set, since a governor cannot fault a
+                collector he never hears from.
+        """
+        visible = (
+            set(topology.collectors) if visible_collectors is None
+            else set(visible_collectors)
+        )
+        for collector in topology.collectors:
+            if collector in visible:
+                self.book.register_collector(
+                    collector, topology.providers_of(collector)
+                )
+        self._linked = {
+            provider: tuple(
+                c for c in topology.collectors_of(provider) if c in visible
+            )
+            for provider in topology.providers
+        }
+        self._visible = frozenset(visible)
+
+    def can_see(self, collector: str) -> bool:
+        """Whether this governor receives the collector's uploads."""
+        return collector in getattr(self, "_visible", frozenset())
+
+    # -- upload ingestion (Algorithm 2, deliver arm) ----------------------
+
+    def ingest_upload(self, upload: LabeledTransaction) -> bool:
+        """Verify and buffer one collector upload.
+
+        Performs the paper's ``verify(c_i, Tx)``: the collector's
+        signature over (tx, label), the embedded provider signature, and
+        the collector-provider link.  A failed embedded-provider check is
+        a *forgery* — case-1 reputation update; a failed collector
+        signature is simply dropped (cannot be attributed).
+
+        Returns:
+            True if buffered for screening.
+        """
+        self.metrics.uploads_received += 1
+        tx, label = upload.parse()
+        collector_ok = self.im.verify(
+            upload.collector, upload.signed_message(), upload.collector_signature
+        )
+        if not collector_ok:
+            return False
+        provider_ok = self.im.verify(
+            tx.provider, tx.signed_message(), tx.provider_signature
+        ) and self.im.is_linked(upload.collector, tx.provider)
+        if not provider_ok:
+            apply_forge_update(self.book, upload.collector)
+            self.metrics.forgeries_caught += 1
+            return False
+        _tx, labels = self._received.setdefault(tx.tx_id, (tx, {}))
+        if upload.collector in labels:
+            # Duplicate upload from the same collector: keep the first
+            # (atomic broadcast makes later copies replays).
+            return False
+        labels[upload.collector] = label
+        return True
+
+    # -- screening (Algorithm 2, endtime arm) ----------------------------
+
+    def screen_single(self, tx_id: str) -> TxRecord | None:
+        """Screen one buffered transaction (Algorithm 2's ``endtime(tx)``).
+
+        Used by the networked engine, whose per-transaction Δ timers fire
+        independently.  Applies case-2 reputation updates for checked
+        transactions and registers unchecked ones with the argue manager.
+
+        Raises:
+            ProtocolViolationError: ``tx_id`` is not buffered.
+        """
+        entry = self._received.pop(tx_id, None)
+        if entry is None:
+            raise ProtocolViolationError(f"no buffered reports for tx {tx_id}")
+        tx, labels = entry
+        reports = ReportSet(
+            tx=tx,
+            provider=tx.provider,
+            labels=labels,
+            linked_collectors=self._linked.get(tx.provider, tuple(sorted(labels))),
+        )
+        decision = screen_transaction(
+            self.params, self.book, reports, self.oracle.validate, self.rng
+        )
+        self.metrics.transactions_screened += 1
+        if decision.checked:
+            self.metrics.validations += 1
+            true_label = Label.from_bool(bool(decision.validation_result))
+            apply_checked_update(self.book, decision.labels, true_label)
+        else:
+            self.metrics.unchecked += 1
+            self._pending_unchecked[tx_id] = decision
+            self.argues.record_unchecked(tx_id)
+        return decision_to_record(decision)
+
+    def screen_pending(self) -> list[TxRecord]:
+        """Screen every buffered transaction; returns this round's records.
+
+        The batch form used by the in-process engine, where all Δ timers
+        of a round fire together at the phase boundary.
+        """
+        records: list[TxRecord] = []
+        for tx_id in sorted(self._received):
+            record = self.screen_single(tx_id)
+            if record is not None:
+                records.append(record)
+        return records
+
+    @property
+    def buffered_tx_ids(self) -> list[str]:
+        """Transactions awaiting their screening timer."""
+        return sorted(self._received)
+
+    # -- truth revelation / argue (Algorithm 2, deliver_argue arm) --------
+
+    def handle_argue(self, tx_id: str) -> TxRecord | None:
+        """Serve an ``argue(tx, s)`` call for an unchecked transaction.
+
+        Validates the transaction, applies the case-3 reputation update,
+        and returns the re-evaluated record to include in a later block
+        if the argue is admitted (within the burial window U).
+        """
+        outcome = self.argues.argue(tx_id)
+        if not outcome.accepted:
+            return None
+        decision = self._pending_unchecked.pop(tx_id, None)
+        if decision is None:
+            raise ProtocolViolationError(
+                f"argue admitted for {tx_id} but no pending decision is held"
+            )
+        self.metrics.argues_served += 1
+        self.metrics.validations += 1
+        is_valid = self.oracle.validate(decision.tx)
+        true_label = Label.from_bool(is_valid)
+        self._account_unchecked_truth(decision, true_label)
+        apply_reveal_update(
+            self.params,
+            self.book,
+            decision.provider,
+            self._linked.get(decision.provider, tuple(sorted(decision.labels))),
+            decision.labels,
+            true_label,
+        )
+        if is_valid:
+            return TxRecord(
+                tx=decision.tx, label=Label.VALID, status=CheckStatus.REEVALUATED
+            )
+        return None
+
+    def reveal_truth(self, tx_id: str, oracle: ValidityOracle) -> None:
+        """Out-of-band truth revelation (experiment harness hook).
+
+        Theorem 1 assumes "the real states of T transactions ... are
+        revealed sometime after they appeared in the ledger"; benches
+        reveal through this method when no provider argues.
+        """
+        decision = self._pending_unchecked.pop(tx_id, None)
+        if decision is None:
+            return
+        self.argues.resolve_silently(tx_id)
+        true_label = Label.from_bool(oracle.validate(decision.tx))
+        self._account_unchecked_truth(decision, true_label)
+        apply_reveal_update(
+            self.params,
+            self.book,
+            decision.provider,
+            self._linked.get(decision.provider, tuple(sorted(decision.labels))),
+            decision.labels,
+            true_label,
+        )
+
+    def _account_unchecked_truth(
+        self, decision: ScreeningDecision, true_label: Label
+    ) -> None:
+        """Update mistake/loss counters when an unchecked truth arrives.
+
+        The theorem's per-transaction expected loss is
+        ``L_t = 2 W_wrong / (W_right + W_wrong)`` with right/wrong
+        resolved against the revealed truth and the weights taken at
+        screening time (the decision snapshot).
+        """
+        wrong_mass = decision.w_minus if true_label is Label.VALID else decision.w_plus
+        denom = decision.reported_mass
+        self.metrics.expected_loss += 2.0 * wrong_mass / denom if denom else 0.0
+        if true_label is Label.VALID:
+            # Recorded invalid-unchecked but actually valid: a mistake.
+            self.metrics.mistakes += 1
+            self.metrics.realized_loss += 2.0

@@ -1,0 +1,90 @@
+"""Communication-complexity verification (experiment E7).
+
+Section 4.1 claims ``O(b_limit * m)`` messages for an ordinary block and
+``O(m^2)`` for a stake-transform block.  The helpers here fit measured
+message counts against those growth laws:
+
+* :func:`fit_power_law` — least-squares exponent of count vs m;
+* :func:`fit_linear` / :func:`fit_quadratic` — explicit-model fits with
+  an R^2 so the bench can report "matches O(m) with R^2 = ..." rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.stats import loglog_slope
+from repro.exceptions import ConfigurationError
+
+__all__ = ["FitResult", "fit_power_law", "fit_linear", "fit_quadratic"]
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """One model fit: coefficients plus goodness."""
+
+    model: str
+    coefficients: tuple[float, ...]
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted model at ``x``."""
+        if self.model == "power":
+            scale, exponent = self.coefficients
+            return scale * x**exponent
+        return float(np.polyval(self.coefficients, x))
+
+
+def _r_squared(y: np.ndarray, y_hat: np.ndarray) -> float:
+    ss_res = float(((y - y_hat) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def _check(xs: Sequence[float], ys: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size != y.size or x.size < 3:
+        raise ConfigurationError("complexity fits need >= 3 paired points")
+    return x, y
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Fit ``y = a * x^b`` by log-log least squares."""
+    x, y = _check(xs, ys)
+    if np.any(y <= 0):
+        raise ConfigurationError("power-law fit needs positive counts")
+    exponent = loglog_slope(x, y)
+    intercept = float(np.mean(np.log(y) - exponent * np.log(x)))
+    scale = float(np.exp(intercept))
+    y_hat = scale * x**exponent
+    return FitResult(
+        model="power", coefficients=(scale, exponent), r_squared=_r_squared(y, y_hat)
+    )
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Fit ``y = a*x + b``."""
+    x, y = _check(xs, ys)
+    coeffs = np.polyfit(x, y, 1)
+    return FitResult(
+        model="linear",
+        coefficients=tuple(float(c) for c in coeffs),
+        r_squared=_r_squared(y, np.polyval(coeffs, x)),
+    )
+
+
+def fit_quadratic(xs: Sequence[float], ys: Sequence[float]) -> FitResult:
+    """Fit ``y = a*x^2 + b*x + c``."""
+    x, y = _check(xs, ys)
+    coeffs = np.polyfit(x, y, 2)
+    return FitResult(
+        model="quadratic",
+        coefficients=tuple(float(c) for c in coeffs),
+        r_squared=_r_squared(y, np.polyval(coeffs, x)),
+    )

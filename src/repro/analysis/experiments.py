@@ -1,0 +1,121 @@
+"""The experiment registry: one source of truth for E*/A*/X* ids.
+
+DESIGN.md's experiment index, EXPERIMENTS.md's records, and the bench
+files all refer to experiment ids (E1..E11, A1-A4, X1-X4).  This module
+makes the mapping executable: each :class:`Experiment` names its claim,
+its bench node, and the results file its table lands in, so tooling can
+
+* list what exists (``registry()``),
+* check that a bench run produced every expected table
+  (``missing_results()``),
+* and load a table's text for report generation (``load_result``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Experiment", "registry", "missing_results", "load_result"]
+
+#: Default location of bench outputs, relative to the repository root.
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible experiment."""
+
+    exp_id: str
+    claim: str
+    bench: str
+    result_file: str
+
+
+_REGISTRY: tuple[Experiment, ...] = (
+    Experiment("E1", "Theorem 1: L_T <= S_min + O(sqrt(T))",
+               "bench_regret.py::test_e1_theorem1_regret_curve", "E1_regret.txt"),
+    Experiment("E1-latency", "latency only delays reputation updates",
+               "bench_regret.py::test_e1_latency_only_delays_updates", "E1_latency.txt"),
+    Experiment("E2", "Lemma 2: P[unchecked] <= f",
+               "bench_unchecked.py::test_e2_lemma2_unchecked_rate", "E2_lemma2.txt"),
+    Experiment("E3", "Theorem 3: Hoeffding concentration of the unchecked count",
+               "bench_unchecked.py::test_e3_theorem3_concentration", "E3_theorem3.txt"),
+    Experiment("E4", "Theorem 4: end-to-end loss bound",
+               "bench_regret.py::test_e4_theorem4_end_to_end", "E4_theorem4.txt"),
+    Experiment("E5", "f trades validation cost for unchecked risk",
+               "bench_efficiency.py::test_e5_f_sweep", "E5_efficiency.txt"),
+    Experiment("E6", "misconduct collapses collector revenue",
+               "bench_incentives.py::test_e6_incentives", "E6_incentives.txt"),
+    Experiment("E7", "O(b_limit*m) ordinary / O(m^2) stake-transform messages",
+               "bench_consensus.py::test_e7_message_complexity", "E7_complexity.txt"),
+    Experiment("E8", "reputation screening vs five baselines",
+               "bench_baselines.py::test_e8_baseline_comparison", "E8_baselines.txt"),
+    Experiment("E9", "the five Section-3.1 properties hold under adversaries",
+               "bench_protocol.py::test_e9_protocol_properties", "E9_properties.txt"),
+    Experiment("E9-net", "packet-level engine preserves the properties",
+               "bench_protocol.py::test_e9_networked_engine", "E9net_packet.txt"),
+    Experiment("E10", "PoS leadership proportional to stake",
+               "bench_consensus.py::test_e10_leader_proportionality", "E10_pos.txt"),
+    Experiment("E11a", "car-sharing case study (Section 5.1)",
+               "bench_apps.py::test_e11_carsharing", "E11a_carsharing.txt"),
+    Experiment("E11b", "insurance case study (Section 5.2)",
+               "bench_apps.py::test_e11_insurance", "E11b_insurance.txt"),
+    Experiment("A1", "beta schedule ablation",
+               "bench_ablations.py::test_a1_beta_sweep", "A1_beta.txt"),
+    Experiment("A2", "adaptive vs naive gamma rule",
+               "bench_ablations.py::test_a2_gamma_rule", "A2_gamma.txt"),
+    Experiment("A3", "source-selection rule ablation",
+               "bench_ablations.py::test_a3_selection_rule", "A3_selection.txt"),
+    Experiment("A4", "argue-window latency ablation",
+               "bench_ablations.py::test_a4_argue_window", "A4_argue_window.txt"),
+    Experiment("X1", "adaptive f (AIMD) extension",
+               "bench_extensions.py::test_x1_adaptive_f", "X1_adaptive_f.txt"),
+    Experiment("X2", "reputation gossip extension",
+               "bench_extensions.py::test_x2_gossip", "X2_gossip.txt"),
+    Experiment("X3", "partial governor visibility extension",
+               "bench_extensions.py::test_x3_partial_visibility", "X3_visibility.txt"),
+    Experiment("X4", "argue-abuse griefing cost",
+               "bench_extensions.py::test_x4_argue_griefing", "X4_griefing.txt"),
+)
+
+
+def registry() -> tuple[Experiment, ...]:
+    """All registered experiments, in presentation order."""
+    return _REGISTRY
+
+
+def missing_results(results_dir: pathlib.Path | None = None) -> list[str]:
+    """Experiment ids whose result table is absent on disk.
+
+    A fresh checkout returns everything; after
+    ``pytest benchmarks/ --benchmark-only`` this must be empty — the
+    test suite asserts exactly that invariant when results exist.
+    """
+    base = results_dir if results_dir is not None else RESULTS_DIR
+    return [
+        exp.exp_id
+        for exp in _REGISTRY
+        if not (base / exp.result_file).exists()
+    ]
+
+
+def load_result(exp_id: str, results_dir: pathlib.Path | None = None) -> str:
+    """The rendered table for one experiment.
+
+    Raises:
+        ConfigurationError: unknown id or result not generated yet.
+    """
+    base = results_dir if results_dir is not None else RESULTS_DIR
+    for exp in _REGISTRY:
+        if exp.exp_id == exp_id:
+            path = base / exp.result_file
+            if not path.exists():
+                raise ConfigurationError(
+                    f"result for {exp_id} not generated; run: "
+                    f"pytest benchmarks/{exp.bench.split('::')[0]} --benchmark-only"
+                )
+            return path.read_text()
+    raise ConfigurationError(f"unknown experiment id {exp_id!r}")

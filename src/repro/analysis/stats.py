@@ -1,0 +1,169 @@
+"""Statistical helpers for the experiments.
+
+* :func:`empirical_tail` — empirical ``P[X > threshold]`` over repeated
+  runs, compared against Theorem 3's Hoeffding bound;
+* :func:`chi_squared_uniformity` — the E10 test that leader election is
+  proportional to stake;
+* :func:`bootstrap_ci` — percentile bootstrap confidence intervals for
+  the sweep tables;
+* :func:`loglog_slope` — the scaling-exponent estimate used to verify
+  O(sqrt(T)) regret and O(m^2) message growth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "empirical_tail",
+    "ChiSquaredResult",
+    "chi_squared_uniformity",
+    "bootstrap_ci",
+    "loglog_slope",
+]
+
+
+def empirical_tail(samples: Sequence[float], threshold: float) -> float:
+    """Fraction of samples strictly above ``threshold``."""
+    if not samples:
+        raise ConfigurationError("empirical tail needs at least one sample")
+    arr = np.asarray(samples, dtype=float)
+    return float(np.mean(arr > threshold))
+
+
+@dataclass(frozen=True)
+class ChiSquaredResult:
+    """Goodness-of-fit outcome for categorical frequencies."""
+
+    statistic: float
+    dof: int
+    p_value: float
+
+    def consistent(self, alpha: float = 0.01) -> bool:
+        """Whether the observed frequencies are consistent at level alpha."""
+        return self.p_value >= alpha
+
+
+def _chi2_sf(x: float, k: int) -> float:
+    """Chi-squared survival function via the regularised upper gamma.
+
+    Implemented with a series/continued-fraction split so the analysis
+    layer stays importable without scipy (scipy is available in dev
+    environments; this keeps the runtime dependency footprint at numpy).
+    """
+    a = k / 2.0
+    s = x / 2.0
+    if s < 0:
+        raise ConfigurationError("chi-squared statistic cannot be negative")
+    if s == 0:
+        return 1.0
+    # Regularised lower incomplete gamma P(a, s) by series (s < a+1) or
+    # upper Q(a, s) by continued fraction (s >= a+1); Numerical-Recipes
+    # style with double precision tolerances.
+    import math
+
+    gln = math.lgamma(a)
+    if s < a + 1.0:
+        term = 1.0 / a
+        total = term
+        ap = a
+        for _ in range(1000):
+            ap += 1.0
+            term *= s / ap
+            total += term
+            if abs(term) < abs(total) * 1e-15:
+                break
+        p_lower = total * math.exp(-s + a * math.log(s) - gln)
+        return max(0.0, min(1.0, 1.0 - p_lower))
+    b = s + 1.0 - a
+    c = 1e300
+    d = 1.0 / b
+    h = d
+    for i in range(1, 1000):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < 1e-300:
+            d = 1e-300
+        c = b + an / c
+        if abs(c) < 1e-300:
+            c = 1e-300
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    q_upper = math.exp(-s + a * math.log(s) - gln) * h
+    return max(0.0, min(1.0, q_upper))
+
+
+def chi_squared_uniformity(
+    observed: Sequence[int], expected_proportions: Sequence[float]
+) -> ChiSquaredResult:
+    """Pearson chi-squared test of observed counts vs expected proportions.
+
+    Used by E10: observed leadership counts per governor vs stake shares.
+    """
+    obs = np.asarray(observed, dtype=float)
+    props = np.asarray(expected_proportions, dtype=float)
+    if obs.shape != props.shape:
+        raise ConfigurationError("observed and expected shapes differ")
+    if obs.size < 2:
+        raise ConfigurationError("need at least two categories")
+    if abs(props.sum() - 1.0) > 1e-9:
+        raise ConfigurationError(f"expected proportions sum to {props.sum()}, not 1")
+    total = obs.sum()
+    if total <= 0:
+        raise ConfigurationError("no observations")
+    expected = props * total
+    if np.any(expected <= 0):
+        raise ConfigurationError("every category needs positive expectation")
+    statistic = float(((obs - expected) ** 2 / expected).sum())
+    dof = obs.size - 1
+    return ChiSquaredResult(statistic=statistic, dof=dof, p_value=_chi2_sf(statistic, dof))
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean of ``samples``."""
+    if not samples:
+        raise ConfigurationError("bootstrap needs at least one sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must be in (0, 1)")
+    arr = np.asarray(samples, dtype=float)
+    rng = np.random.default_rng(seed)
+    means = rng.choice(arr, size=(n_resamples, arr.size), replace=True).mean(axis=1)
+    lo = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, lo)),
+        float(np.quantile(means, 1.0 - lo)),
+    )
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) on log(x) — the scaling exponent.
+
+    ``ys`` entries that are zero are floored at the smallest positive
+    value to keep the fit defined (a zero regret at small T is common).
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ConfigurationError("need >= 2 paired points for a slope")
+    if np.any(x <= 0):
+        raise ConfigurationError("x values must be positive for a log-log fit")
+    positive = y[y > 0]
+    if positive.size == 0:
+        return 0.0
+    y = np.maximum(y, positive.min())
+    slope, _intercept = np.polyfit(np.log(x), np.log(y), 1)
+    return float(slope)

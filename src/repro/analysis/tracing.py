@@ -1,0 +1,161 @@
+"""Structured run tracing — JSONL event logs for debugging and replay.
+
+Operations teams debugging a reputation anomaly need the run's history:
+which collector uploaded what, which transactions went unchecked, when
+argues fired, how rewards moved.  :class:`RunTracer` captures exactly
+that, one JSON object per event, by observing a
+:class:`~repro.core.protocol.ProtocolEngine` round-by-round:
+
+    tracer = RunTracer()
+    for _ in range(rounds):
+        result = engine.run_round(workload.take(batch))
+        tracer.observe_round(engine, result)
+    tracer.dump(open("run.jsonl", "w"))
+
+Event kinds: ``round`` (leader, block serial/size), ``record`` (each
+block entry with label/status), ``upload`` (collector -> label),
+``reward`` (per-collector payout), ``reputation`` (post-round weight
+snapshot of flagged collectors).  The log is line-delimited JSON, so it
+streams through standard tooling (jq, pandas).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, TextIO
+
+from repro.core.protocol import ProtocolEngine, RoundResult
+from repro.exceptions import ConfigurationError
+
+__all__ = ["RunTracer"]
+
+
+@dataclass
+class RunTracer:
+    """Collects engine events as JSON-compatible dicts.
+
+    Args:
+        watch_collectors: Collector ids whose reputation to snapshot
+            each round (empty = skip reputation events).
+        watch_governor: Whose book the reputation snapshots come from.
+            Books are *per governor*, so a fixed observer is required
+            for a coherent time series; None picks the first governor
+            (sorted) at the first observed round.
+        include_uploads: Whether to log every upload (the most verbose
+            event class; disable for long runs).
+    """
+
+    watch_collectors: tuple[str, ...] = ()
+    watch_governor: str | None = None
+    include_uploads: bool = True
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    def observe_round(self, engine: ProtocolEngine, result: RoundResult) -> None:
+        """Record one executed round's events."""
+        self.events.append(
+            {
+                "kind": "round",
+                "round": result.round_number,
+                "leader": result.leader,
+                "serial": result.block.serial,
+                "block_size": len(result.block),
+                "argues_admitted": result.argues_admitted,
+            }
+        )
+        for rec in result.block.tx_list:
+            self.events.append(
+                {
+                    "kind": "record",
+                    "round": result.round_number,
+                    "tx_id": rec.tx.tx_id,
+                    "provider": rec.tx.provider,
+                    "label": int(rec.label),
+                    "status": rec.status.value,
+                }
+            )
+        if self.include_uploads:
+            for upload in result.uploads:
+                self.events.append(
+                    {
+                        "kind": "upload",
+                        "round": result.round_number,
+                        "tx_id": upload.tx.tx_id,
+                        "collector": upload.collector,
+                        "label": int(upload.label),
+                    }
+                )
+        for collector, amount in sorted(result.rewards.items()):
+            self.events.append(
+                {
+                    "kind": "reward",
+                    "round": result.round_number,
+                    "collector": collector,
+                    "amount": amount,
+                }
+            )
+        if self.watch_collectors:
+            if self.watch_governor is None:
+                self.watch_governor = sorted(engine.governors)[0]
+            book = engine.governors[self.watch_governor].book
+            for cid in self.watch_collectors:
+                vector = book.vector(cid)
+                self.events.append(
+                    {
+                        "kind": "reputation",
+                        "round": result.round_number,
+                        "governor": self.watch_governor,
+                        "collector": cid,
+                        "weights": dict(vector.provider_weights),
+                        "misreport": vector.misreport,
+                        "forge": vector.forge,
+                    }
+                )
+
+    # -- queries ----------------------------------------------------------
+
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        """All events of one kind, in order."""
+        return [e for e in self.events if e["kind"] == kind]
+
+    def tx_history(self, tx_id: str) -> list[dict[str, Any]]:
+        """Every event touching one transaction (uploads + records)."""
+        return [e for e in self.events if e.get("tx_id") == tx_id]
+
+    def reputation_series(self, collector: str, provider: str) -> list[float]:
+        """A watched collector's weight w.r.t. one provider over rounds."""
+        return [
+            e["weights"][provider]
+            for e in self.of_kind("reputation")
+            if e["collector"] == collector and provider in e["weights"]
+        ]
+
+    # -- serialisation ------------------------------------------------------
+
+    def dump(self, fp: TextIO) -> int:
+        """Write the log as JSONL; returns the number of lines."""
+        for event in self.events:
+            fp.write(json.dumps(event, sort_keys=True))
+            fp.write("\n")
+        return len(self.events)
+
+    @staticmethod
+    def load(lines: Iterable[str]) -> "RunTracer":
+        """Rebuild a tracer from JSONL lines.
+
+        Raises:
+            ConfigurationError: on malformed lines.
+        """
+        tracer = RunTracer()
+        for i, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(f"bad JSONL at line {i}: {exc}") from exc
+            if "kind" not in event:
+                raise ConfigurationError(f"event at line {i} lacks a kind")
+            tracer.events.append(event)
+        return tracer

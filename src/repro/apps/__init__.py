@@ -1,0 +1,27 @@
+"""Section-5 application domains: car-sharing and insurance."""
+
+from repro.apps.carsharing import (
+    CarSharingMarket,
+    GreedyDispatcher,
+    MarketReport,
+    RideRequest,
+)
+from repro.apps.insurance import (
+    Application,
+    CommissionBiasedAgent,
+    HealthRecord,
+    InsuranceAlliance,
+    UnderwritingReport,
+)
+
+__all__ = [
+    "Application",
+    "CarSharingMarket",
+    "CommissionBiasedAgent",
+    "GreedyDispatcher",
+    "HealthRecord",
+    "InsuranceAlliance",
+    "MarketReport",
+    "RideRequest",
+    "UnderwritingReport",
+]

@@ -1,0 +1,247 @@
+"""Screening-policy interface and the comparison harness (experiment E8).
+
+The paper's mechanism is, at its core, a *screening policy*: given the
+labels collectors uploaded for a transaction, decide whether to spend a
+validation and what to record.  Expressing the baselines and the paper's
+mechanism behind one interface lets E8 compare them on identical
+transaction streams:
+
+* :class:`ReputationPolicy` — the paper (reputation-proportional source
+  selection, f-tuned skipping, multiplicative updates);
+* check-all / check-none / uniform-no-reputation / majority-vote /
+  static-trust — in the sibling modules.
+
+:class:`PolicySimulation` replays a seeded stream of (truth, labels)
+pairs through a policy and accounts mistakes, validations and loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, Sequence
+
+import numpy as np
+
+from repro.agents.behaviors import CollectorBehavior
+from repro.core.params import ProtocolParams, gamma_for
+from repro.exceptions import ConfigurationError
+from repro.ledger.transaction import Label
+
+__all__ = [
+    "PolicyDecision",
+    "ScreeningPolicy",
+    "ReputationPolicy",
+    "PolicyStats",
+    "PolicySimulation",
+]
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """What a policy did for one transaction."""
+
+    recorded_label: Label
+    checked: bool
+
+
+class ScreeningPolicy(Protocol):
+    """A governor-side screening strategy."""
+
+    def screen(
+        self, labels: Mapping[str, Label], rng: np.random.Generator
+    ) -> PolicyDecision:
+        """Decide on one transaction given the uploaded labels.
+
+        A policy that checks learns the truth via the harness (the
+        harness validates when ``checked`` is True); policies must not
+        peek at the truth themselves.
+        """
+        ...
+
+    def on_truth(
+        self, labels: Mapping[str, Label], truth: Label, was_checked: bool
+    ) -> None:
+        """Learn from a revealed truth (checked now, unchecked later)."""
+        ...
+
+
+@dataclass
+class ReputationPolicy:
+    """The paper's mechanism as a policy (one provider's collector group)."""
+
+    params: ProtocolParams
+    collector_ids: Sequence[str]
+    weights: dict[str, float] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.weights = {c: self.params.initial_reputation for c in self.collector_ids}
+
+    def screen(
+        self, labels: Mapping[str, Label], rng: np.random.Generator
+    ) -> PolicyDecision:
+        reporters = sorted(c for c in labels if c in self.weights)
+        if not reporters:
+            # No known reporter: the conservative fallback is to check.
+            return PolicyDecision(recorded_label=Label.VALID, checked=True)
+        w = np.array([self.weights[c] for c in reporters])
+        probs = w / w.sum()
+        drawn_idx = int(rng.choice(len(reporters), p=probs))
+        drawn = reporters[drawn_idx]
+        label = labels[drawn]
+        if label is Label.VALID:
+            return PolicyDecision(recorded_label=Label.VALID, checked=True)
+        skip = self.params.f * float(probs[drawn_idx])
+        checked = bool(rng.random() >= skip)
+        return PolicyDecision(recorded_label=Label.INVALID, checked=checked)
+
+    def add_collector(self, collector_id: str, bootstrap: str = "median") -> None:
+        """Membership churn: admit a new collector mid-stream.
+
+        The paper assumes a static collector set; real alliances churn.
+        The bootstrap weight decides the newcomer's standing:
+
+        * ``"median"`` — the population median (a newcomer neither
+          dominates selection nor starves: it inherits the credibility
+          of the *typical* incumbent);
+        * ``"initial"`` — the protocol's fresh weight (optimistic: new
+          collectors start fully trusted, like at genesis);
+        * ``"min"`` — the worst incumbent's weight (pessimistic: trust
+          must be earned through checked transactions first).
+
+        Raises:
+            ConfigurationError: duplicate id or unknown bootstrap rule.
+        """
+        import numpy as _np
+
+        if collector_id in self.weights:
+            raise ConfigurationError(f"collector {collector_id!r} already present")
+        incumbents = list(self.weights.values())
+        if bootstrap == "median":
+            weight = float(_np.median(incumbents)) if incumbents else (
+                self.params.initial_reputation
+            )
+        elif bootstrap == "initial":
+            weight = self.params.initial_reputation
+        elif bootstrap == "min":
+            weight = min(incumbents) if incumbents else self.params.initial_reputation
+        else:
+            raise ConfigurationError(f"unknown bootstrap rule {bootstrap!r}")
+        self.weights[collector_id] = max(weight, 1e-300)
+        self.collector_ids = tuple(self.weights)
+
+    def retire_collector(self, collector_id: str) -> None:
+        """Membership churn: remove a collector (e.g. left the alliance).
+
+        Raises:
+            ConfigurationError: unknown collector.
+        """
+        if collector_id not in self.weights:
+            raise ConfigurationError(f"collector {collector_id!r} not present")
+        del self.weights[collector_id]
+        self.collector_ids = tuple(self.weights)
+
+    def on_truth(
+        self, labels: Mapping[str, Label], truth: Label, was_checked: bool
+    ) -> None:
+        if was_checked:
+            # Case 2 uses the additive misreport entry, which does not
+            # feed back into source selection; selection weights are the
+            # first-s entries, updated only on unchecked reveals.
+            return
+        known = {c: lab for c, lab in labels.items() if c in self.weights}
+        w_right = sum(self.weights[c] for c, lab in known.items() if lab is truth)
+        w_wrong = sum(self.weights[c] for c, lab in known.items() if lab is not truth)
+        total = w_right + w_wrong
+        loss = 0.0 if total == 0 else 2.0 * w_wrong / total
+        gamma = gamma_for(self.params.beta, loss)
+        for cid in self.collector_ids:
+            lab = known.get(cid)
+            if lab is None:
+                self.weights[cid] = max(self.weights[cid] * self.params.beta, 1e-300)
+            elif lab is not truth:
+                self.weights[cid] = max(self.weights[cid] * gamma, 1e-300)
+
+
+@dataclass
+class PolicyStats:
+    """Outcome of one policy over one stream."""
+
+    transactions: int = 0
+    validations: int = 0
+    unchecked: int = 0
+    mistakes: int = 0
+    realized_loss: float = 0.0
+
+    @property
+    def check_rate(self) -> float:
+        """Fraction of transactions the policy validated."""
+        return self.validations / self.transactions if self.transactions else 0.0
+
+    @property
+    def mistake_rate(self) -> float:
+        """Mistakes per transaction."""
+        return self.mistakes / self.transactions if self.transactions else 0.0
+
+
+@dataclass
+class PolicySimulation:
+    """Replay one seeded stream through a policy.
+
+    The stream is generated from collector behaviours exactly as in
+    :class:`repro.core.game.ReputationGame`; identical (behaviours,
+    horizon, seed) produce identical (truth, labels) sequences, so
+    different policies face the same adversary.
+    """
+
+    behaviors: Sequence[CollectorBehavior]
+    horizon: int
+    p_valid: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise ConfigurationError("horizon must be >= 1")
+        if not 0.0 <= self.p_valid <= 1.0:
+            raise ConfigurationError("p_valid must be in [0, 1]")
+
+    def stream(self) -> list[tuple[Label, dict[str, Label]]]:
+        """Materialise the (truth, labels) stream."""
+        rng = np.random.default_rng(self.seed)
+        ids = [f"c{i}" for i in range(len(self.behaviors))]
+        out: list[tuple[Label, dict[str, Label]]] = []
+        for _ in range(self.horizon):
+            truth_valid = bool(rng.random() < self.p_valid)
+            labels: dict[str, Label] = {}
+            for cid, behavior in zip(ids, self.behaviors, strict=True):
+                label = behavior.label_for(truth_valid, rng)
+                if label is not None:
+                    labels[cid] = label
+            out.append((Label.from_bool(truth_valid), labels))
+        return out
+
+    def run(self, policy: ScreeningPolicy, policy_seed: int = 1) -> PolicyStats:
+        """Run ``policy`` over the stream and account its performance.
+
+        A *mistake* is recording the wrong final label: an unchecked
+        record whose provisional label contradicts the truth (checked
+        transactions are never mistaken — validation reveals the truth).
+        """
+        rng = np.random.default_rng(policy_seed)
+        stats = PolicyStats()
+        for truth, labels in self.stream():
+            stats.transactions += 1
+            if not labels:
+                # Nothing uploaded: the transaction is invisible to the
+                # governor; skip (no decision possible for any policy).
+                continue
+            decision = policy.screen(labels, rng)
+            if decision.checked:
+                stats.validations += 1
+                policy.on_truth(labels, truth, was_checked=True)
+            else:
+                stats.unchecked += 1
+                if decision.recorded_label is not truth:
+                    stats.mistakes += 1
+                    stats.realized_loss += 2.0
+                policy.on_truth(labels, truth, was_checked=False)
+        return stats

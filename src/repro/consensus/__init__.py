@@ -1,0 +1,62 @@
+"""Consensus substrate: stake, PoS/VRF leader election, stake-transform
+consensus, and the PBFT comparison baseline."""
+
+from repro.consensus.messages import (
+    BlockProposal,
+    ExpelEvidence,
+    NewStateProposal,
+    StateAck,
+    StateCommit,
+    VRFAnnouncement,
+)
+from repro.consensus.pbft import (
+    PBFTCluster,
+    PBFTMessage,
+    PBFTPhase,
+    PBFTReplica,
+    pbft_quorum,
+)
+from repro.consensus.pos import LeaderElection, announce_stakes, elect_leader
+from repro.consensus.raft import RaftCluster, RaftNode, RaftRole
+from repro.consensus.stake import StakeLedger, StakeTransfer
+from repro.consensus.tendermint import TendermintCluster, TMStep, TMVote, tm_quorum
+from repro.consensus.stake_consensus import (
+    StakeConsensusRound,
+    evaluate_proposal,
+    make_commit,
+    make_proposal,
+    transfers_digest,
+    verify_commit,
+)
+
+__all__ = [
+    "BlockProposal",
+    "ExpelEvidence",
+    "LeaderElection",
+    "NewStateProposal",
+    "PBFTCluster",
+    "PBFTMessage",
+    "PBFTPhase",
+    "PBFTReplica",
+    "RaftCluster",
+    "RaftNode",
+    "RaftRole",
+    "StakeConsensusRound",
+    "StakeLedger",
+    "StakeTransfer",
+    "StateAck",
+    "StateCommit",
+    "TMStep",
+    "TMVote",
+    "TendermintCluster",
+    "VRFAnnouncement",
+    "announce_stakes",
+    "elect_leader",
+    "evaluate_proposal",
+    "make_commit",
+    "make_proposal",
+    "pbft_quorum",
+    "tm_quorum",
+    "transfers_digest",
+    "verify_commit",
+]

@@ -1,0 +1,96 @@
+"""Wire messages exchanged among governors.
+
+Each message dataclass carries a ``kind`` tag used by the network layer's
+per-kind counters, which is how the complexity experiments (E7) separate
+ordinary-block traffic from stake-transform traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.signatures import Signature
+from repro.crypto.vrf import VRFOutput
+from repro.ledger.block import Block
+
+__all__ = [
+    "VRFAnnouncement",
+    "BlockProposal",
+    "NewStateProposal",
+    "StateAck",
+    "StateCommit",
+    "ExpelEvidence",
+]
+
+
+@dataclass(frozen=True)
+class VRFAnnouncement:
+    """A governor's per-round VRF outputs, one per stake unit."""
+
+    round_number: int
+    governor: str
+    outputs: tuple[VRFOutput, ...]
+    kind: str = field(default="vrf-announce", repr=False)
+
+
+@dataclass(frozen=True)
+class BlockProposal:
+    """The leader's ordinary block for the round."""
+
+    round_number: int
+    block: Block
+    leader: str
+    kind: str = field(default="block-proposal", repr=False)
+
+
+@dataclass(frozen=True)
+class NewStateProposal:
+    """Step 1 of the stake-transform consensus: NEW_STATE + leader signature."""
+
+    round_number: int
+    leader: str
+    new_state: dict[str, int]
+    transfers_digest: bytes
+    signature: Signature
+    kind: str = field(default="new-state", repr=False)
+
+    def signed_message(self) -> tuple:
+        """The structure the leader's signature covers."""
+        return ("new-state", self.round_number, self.new_state, self.transfers_digest)
+
+
+@dataclass(frozen=True)
+class StateAck:
+    """Step 2: a non-leader's signature over the leader's proposal."""
+
+    round_number: int
+    governor: str
+    proposal_digest: bytes
+    signature: Signature
+    kind: str = field(default="state-ack", repr=False)
+
+    def signed_message(self) -> tuple:
+        """The structure the acker's signature covers."""
+        return ("state-ack", self.round_number, self.proposal_digest)
+
+
+@dataclass(frozen=True)
+class StateCommit:
+    """Step 3: the stake-transform block — NEW_STATE plus all signatures."""
+
+    round_number: int
+    leader: str
+    new_state: dict[str, int]
+    acks: tuple[StateAck, ...]
+    kind: str = field(default="state-commit", repr=False)
+
+
+@dataclass(frozen=True)
+class ExpelEvidence:
+    """Broadcast by a governor that caught the leader misbehaving."""
+
+    round_number: int
+    accuser: str
+    reason: str
+    proposal: NewStateProposal
+    kind: str = field(default="expel-evidence", repr=False)

@@ -1,0 +1,288 @@
+"""Baseline: Raft leader election + log replication (crash-fault model).
+
+The paper's related work (Section 2.2) notes that R3 Corda *"when
+implemented with Raft ... tolerates half of the nodes' crashing"* —
+the crash-fault-tolerant point of comparison against the Byzantine
+baselines (PBFT, Tendermint) and the paper's trust-the-governors model.
+
+This is a compact but honest single-decree-pipeline Raft:
+
+* **terms & elections** — followers time out (seeded, randomised
+  timeouts to break symmetry), become candidates, solicit votes; a
+  majority elects a leader for the term; at most one leader per term
+  (each node votes once per term);
+* **log replication** — the leader appends client entries and
+  replicates via AppendEntries; an entry commits once a majority of
+  nodes store it; followers apply committed entries in order;
+* **crash/restart** — crashed nodes drop all traffic; on restart they
+  rejoin with their persistent state (term, vote, log) intact, as
+  Raft's durability model requires.
+
+The simulation advances in discrete ticks; per-tick message exchange is
+counted, giving the E7-style complexity shape: steady-state replication
+is O(n) messages per entry — cheaper than BFT's O(n^2) but with the
+weaker (crash-only) fault model, which is exactly the trade the related
+work discusses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ConsensusError
+
+__all__ = ["RaftRole", "RaftNode", "RaftCluster"]
+
+
+class RaftRole(enum.Enum):
+    """A node's current role."""
+
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+@dataclass
+class _LogEntry:
+    term: int
+    payload: Any
+
+
+@dataclass
+class RaftNode:
+    """One Raft node's state (persistent + volatile)."""
+
+    node_id: str
+    # Persistent state (survives restarts).
+    current_term: int = 0
+    voted_for: str | None = None
+    log: list[_LogEntry] = field(default_factory=list)
+    # Volatile state.
+    role: RaftRole = RaftRole.FOLLOWER
+    commit_index: int = 0  # number of committed entries
+    applied: list[Any] = field(default_factory=list)
+    election_deadline: int = 0
+    crashed: bool = False
+
+    def apply_committed(self) -> None:
+        """Apply entries up to the commit index, in order."""
+        while len(self.applied) < self.commit_index:
+            self.applied.append(self.log[len(self.applied)].payload)
+
+
+@dataclass
+class RaftCluster:
+    """A tick-driven Raft cluster with crash injection.
+
+    Args:
+        node_ids: Cluster membership (odd sizes give clean majorities).
+        seed: Randomised election timeouts (deterministic per seed).
+        election_timeout: (min, max) ticks a follower waits before
+            standing for election.
+        heartbeat_interval: Ticks between leader AppendEntries rounds.
+    """
+
+    node_ids: list[str]
+    seed: int = 0
+    election_timeout: tuple[int, int] = (10, 20)
+    heartbeat_interval: int = 3
+    messages_exchanged: int = 0
+    _tick: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.node_ids) < 3:
+            raise ConsensusError("Raft needs >= 3 nodes for a useful majority")
+        if len(set(self.node_ids)) != len(self.node_ids):
+            raise ConsensusError("duplicate node ids")
+        lo, hi = self.election_timeout
+        if not 0 < lo < hi:
+            raise ConsensusError("need 0 < timeout_min < timeout_max")
+        self._rng = np.random.default_rng(self.seed)
+        self.nodes = {nid: RaftNode(node_id=nid) for nid in self.node_ids}
+        for node in self.nodes.values():
+            self._reset_election_timer(node)
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def majority(self) -> int:
+        """Votes/replicas needed: floor(n/2) + 1."""
+        return len(self.node_ids) // 2 + 1
+
+    def _reset_election_timer(self, node: RaftNode) -> None:
+        lo, hi = self.election_timeout
+        node.election_deadline = self._tick + int(self._rng.integers(lo, hi + 1))
+
+    def _alive(self) -> list[RaftNode]:
+        return [n for n in self.nodes.values() if not n.crashed]
+
+    def leader(self) -> str | None:
+        """The current leader's id, if one is alive and elected."""
+        leaders = [
+            n.node_id
+            for n in self._alive()
+            if n.role is RaftRole.LEADER
+        ]
+        if not leaders:
+            return None
+        # With correct vote accounting at most one leader per term exists;
+        # stale leaders of older terms step down on contact.
+        return max(leaders, key=lambda nid: self.nodes[nid].current_term)
+
+    # -- crash injection ------------------------------------------------------
+
+    def crash(self, node_id: str) -> None:
+        """Stop a node (drops traffic; volatile leadership is lost)."""
+        node = self._node(node_id)
+        node.crashed = True
+        node.role = RaftRole.FOLLOWER
+
+    def restart(self, node_id: str) -> None:
+        """Restart a crashed node with persistent state intact."""
+        node = self._node(node_id)
+        node.crashed = False
+        node.role = RaftRole.FOLLOWER
+        self._reset_election_timer(node)
+
+    def _node(self, node_id: str) -> RaftNode:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise ConsensusError(f"unknown node {node_id!r}") from None
+
+    # -- the tick loop -----------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance one time step: timeouts, elections, heartbeats."""
+        self._tick += 1
+        for node in self._alive():
+            if node.role is RaftRole.LEADER:
+                if self._tick % self.heartbeat_interval == 0:
+                    self._replicate(node)
+            elif self._tick >= node.election_deadline:
+                self._start_election(node)
+
+    def _start_election(self, candidate: RaftNode) -> None:
+        candidate.current_term += 1
+        candidate.role = RaftRole.CANDIDATE
+        candidate.voted_for = candidate.node_id
+        self._reset_election_timer(candidate)
+        votes = 1
+        for peer in self._alive():
+            if peer.node_id == candidate.node_id:
+                continue
+            self.messages_exchanged += 2  # RequestVote + response
+            grant = self._maybe_grant_vote(peer, candidate)
+            if grant:
+                votes += 1
+        if votes >= self.majority:
+            candidate.role = RaftRole.LEADER
+            # Depose stale leaders/candidates of older terms.
+            for peer in self._alive():
+                if peer.node_id != candidate.node_id and (
+                    peer.current_term < candidate.current_term
+                ):
+                    peer.current_term = candidate.current_term
+                    peer.role = RaftRole.FOLLOWER
+                    peer.voted_for = None
+            self._replicate(candidate)
+
+    def _maybe_grant_vote(self, peer: RaftNode, candidate: RaftNode) -> bool:
+        if candidate.current_term < peer.current_term:
+            return False
+        if candidate.current_term > peer.current_term:
+            peer.current_term = candidate.current_term
+            peer.voted_for = None
+            peer.role = RaftRole.FOLLOWER
+        # Election restriction: candidate's log must be at least as
+        # up-to-date as the voter's.
+        def last(node: RaftNode) -> tuple[int, int]:
+            if not node.log:
+                return (0, 0)
+            return (node.log[-1].term, len(node.log))
+
+        if last(candidate) < last(peer):
+            return False
+        if peer.voted_for in (None, candidate.node_id):
+            peer.voted_for = candidate.node_id
+            self._reset_election_timer(peer)
+            return True
+        return False
+
+    def _replicate(self, leader: RaftNode) -> None:
+        """One AppendEntries round: push the leader's log to followers."""
+        stored = 1  # the leader itself
+        for peer in self._alive():
+            if peer.node_id == leader.node_id:
+                continue
+            self.messages_exchanged += 2  # AppendEntries + ack
+            if peer.current_term > leader.current_term:
+                # A newer term exists: step down.
+                leader.role = RaftRole.FOLLOWER
+                leader.current_term = peer.current_term
+                leader.voted_for = None
+                return
+            peer.current_term = leader.current_term
+            peer.role = RaftRole.FOLLOWER
+            self._reset_election_timer(peer)
+            # Full-log overwrite keeps the model simple and preserves the
+            # Raft log-matching property (leader's log is authoritative).
+            peer.log = list(leader.log)
+            stored += 1
+        if stored >= self.majority:
+            leader.commit_index = len(leader.log)
+            leader.apply_committed()
+            for peer in self._alive():
+                if peer.node_id != leader.node_id:
+                    peer.commit_index = min(len(peer.log), leader.commit_index)
+                    peer.apply_committed()
+
+    # -- client API ----------------------------------------------------------------
+
+    def run_until_leader(self, max_ticks: int = 2000) -> str:
+        """Tick until a leader exists; returns its id.
+
+        Raises:
+            ConsensusError: no leader within the budget (e.g. no majority
+                of nodes alive).
+        """
+        if len(self._alive()) < self.majority:
+            raise ConsensusError(
+                f"only {len(self._alive())} nodes alive < majority {self.majority}"
+            )
+        for _ in range(max_ticks):
+            current = self.leader()
+            if current is not None:
+                return current
+            self.tick()
+        raise ConsensusError(f"no leader elected within {max_ticks} ticks")
+
+    def submit(self, payload: Any, max_ticks: int = 2000) -> None:
+        """Commit one entry through the current (or a fresh) leader.
+
+        Raises:
+            ConsensusError: when no majority is available.
+        """
+        leader_id = self.run_until_leader(max_ticks)
+        leader = self.nodes[leader_id]
+        already = any(entry.payload == payload for entry in leader.log)
+        if not already:
+            leader.log.append(_LogEntry(term=leader.current_term, payload=payload))
+        start = self._tick
+        while not any(p == payload for p in leader.applied):
+            if self._tick - start > max_ticks:
+                raise ConsensusError("entry failed to commit within the budget")
+            if leader.crashed or leader.role is not RaftRole.LEADER:
+                # Leadership moved: retry through the new leader (the
+                # duplicate guard above makes the retry idempotent when
+                # the entry already replicated).
+                return self.submit(payload, max_ticks)
+            self.tick()
+
+    def committed_log(self, node_id: str) -> list[Any]:
+        """The payloads a node has applied, in order."""
+        return list(self._node(node_id).applied)

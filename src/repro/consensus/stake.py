@@ -1,0 +1,117 @@
+"""Stake accounting for the PoS leader election.
+
+Section 3.4.3: each governor ``g_j`` holds ``y_j`` units of stake; a
+governor's chance of leading a round is proportional to his stake.
+Stake units are discrete and individually enumerable because the VRF is
+evaluated *per unit*: ``VRF_{g_j}(r, j, u)`` for ``1 <= u <= y_j``.
+
+:class:`StakeLedger` tracks balances and applies signed stake-transfer
+transactions; the 3-step stake-transform consensus commits a new state
+snapshot at the end of a round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.crypto.hashing import hash_value
+from repro.crypto.signatures import Signature
+from repro.exceptions import StakeError
+
+__all__ = ["StakeTransfer", "StakeLedger"]
+
+
+@dataclass(frozen=True)
+class StakeTransfer:
+    """A signed stake movement between governors."""
+
+    sender: str
+    receiver: str
+    amount: int
+    nonce: int
+    signature: Signature
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0:
+            raise StakeError(f"transfer amount must be positive, got {self.amount}")
+        if self.sender == self.receiver:
+            raise StakeError("self-transfers are meaningless")
+
+    def signed_message(self) -> tuple:
+        """The structure the sender signed."""
+        return ("stake-transfer", self.sender, self.receiver, self.amount, self.nonce)
+
+    def canonical_bytes(self) -> bytes:
+        """Stable encoding (for inclusion in NEW_STATE hashing)."""
+        return hash_value(self.signed_message())
+
+
+@dataclass
+class StakeLedger:
+    """Integral stake balances with transfer application and snapshots."""
+
+    _balances: dict[str, int] = field(default_factory=dict)
+
+    @staticmethod
+    def from_balances(balances: Mapping[str, int]) -> "StakeLedger":
+        """Build a ledger from initial balances.
+
+        Raises:
+            StakeError: on a negative balance.
+        """
+        for gov, amount in balances.items():
+            if amount < 0:
+                raise StakeError(f"negative initial stake for {gov!r}: {amount}")
+        return StakeLedger(_balances=dict(balances))
+
+    def balance(self, governor: str) -> int:
+        """Stake units held by ``governor`` (0 if none)."""
+        return self._balances.get(governor, 0)
+
+    @property
+    def total(self) -> int:
+        """Total stake in the system."""
+        return sum(self._balances.values())
+
+    def governors(self) -> Iterator[str]:
+        """Governors with a positive balance."""
+        for gov, amount in self._balances.items():
+            if amount > 0:
+                yield gov
+
+    def apply(self, transfer: StakeTransfer) -> None:
+        """Apply a transfer.
+
+        Raises:
+            StakeError: insufficient balance.
+        """
+        if self.balance(transfer.sender) < transfer.amount:
+            raise StakeError(
+                f"{transfer.sender!r} holds {self.balance(transfer.sender)} "
+                f"stake, cannot send {transfer.amount}"
+            )
+        self._balances[transfer.sender] -= transfer.amount
+        self._balances[transfer.receiver] = (
+            self._balances.get(transfer.receiver, 0) + transfer.amount
+        )
+
+    def applied(self, transfers: list[StakeTransfer]) -> "StakeLedger":
+        """A copy with ``transfers`` applied in order (self unchanged)."""
+        copy = StakeLedger(_balances=dict(self._balances))
+        for transfer in transfers:
+            copy.apply(transfer)
+        return copy
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict snapshot (the NEW_STATE content)."""
+        return dict(self._balances)
+
+    def state_hash(self) -> bytes:
+        """Commitment to the current balances."""
+        return hash_value(("stake-state", self.snapshot()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StakeLedger):
+            return NotImplemented
+        return self.snapshot() == other.snapshot()

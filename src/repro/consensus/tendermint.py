@@ -1,0 +1,179 @@
+"""Baseline: Tendermint-core-style BFT with per-block leader rotation.
+
+The paper's related work (Section 2.2) singles out Tendermint's
+*"continuous rotation of the leader — the leader is changed after every
+block"* as its most momentous difference from PBFT.  This module
+implements that scheme's single-height core faithfully enough for the
+complexity and fault-tolerance comparisons:
+
+* the proposer of height ``h``, round ``rnd`` is
+  ``validators[(h + rnd) % n]`` — deterministic rotation;
+* **propose / prevote / precommit**: the proposer broadcasts a block;
+  every validator broadcasts a signed prevote for it (or nil); on
+  seeing ``2f + 1`` prevotes a validator broadcasts a precommit; on
+  ``2f + 1`` precommits it decides;
+* a silent or equivocating proposer yields nil prevotes; validators
+  move to the next round (rotating the proposer) — liveness under
+  ``f < n/3`` faults.
+
+Message complexity is Theta(n^2) per height (two all-to-all vote
+phases), like PBFT — the contrast with the paper's O(b_limit * m)
+ordinary-block path.  Unlike PBFT's view change, rotation is built into
+the happy path, so a failed proposer costs exactly one extra round.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.hashing import hash_value
+from repro.crypto.identity import IdentityManager
+from repro.crypto.signatures import Signature, sign
+from repro.exceptions import ConsensusError
+
+__all__ = ["TMStep", "TMVote", "TendermintCluster", "tm_quorum"]
+
+#: Sentinel digest for nil votes.
+NIL = b"\x00" * 32
+
+
+def tm_quorum(n: int) -> int:
+    """Votes needed to advance: ``2f + 1`` with ``f = (n - 1) // 3``."""
+    if n < 4:
+        raise ConsensusError(f"Tendermint needs n >= 4 validators, got {n}")
+    return 2 * ((n - 1) // 3) + 1
+
+
+class TMStep(enum.Enum):
+    """Protocol steps within one round."""
+
+    PROPOSE = "propose"
+    PREVOTE = "prevote"
+    PRECOMMIT = "precommit"
+
+
+@dataclass(frozen=True)
+class TMVote:
+    """A signed prevote or precommit."""
+
+    step: TMStep
+    height: int
+    round: int
+    digest: bytes
+    voter: str
+    signature: Signature
+
+    def signed_message(self) -> tuple:
+        """The structure the signature covers."""
+        return ("tm-vote", self.step.value, self.height, self.round, self.digest)
+
+    @property
+    def is_nil(self) -> bool:
+        """Whether this vote is for nil (no acceptable proposal seen)."""
+        return self.digest == NIL
+
+
+@dataclass
+class TendermintCluster:
+    """Drive one height of Tendermint-style consensus in process.
+
+    Message counting: propose ``n - 1``; prevote and precommit
+    ``n * (n - 1)`` each (all-to-all, excluding self-delivery) — per
+    round, whether or not the round decides.
+    """
+
+    im: IdentityManager
+    validator_ids: list[str]
+    messages_exchanged: int = 0
+    rounds_used: int = 0
+    faulty: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if len(self.validator_ids) < 4:
+            raise ConsensusError("Tendermint needs at least 4 validators")
+
+    @property
+    def n(self) -> int:
+        """Validator count."""
+        return len(self.validator_ids)
+
+    @property
+    def quorum(self) -> int:
+        """The 2f+1 threshold."""
+        return tm_quorum(self.n)
+
+    @property
+    def max_faulty(self) -> int:
+        """``f`` — tolerated Byzantine validators."""
+        return (self.n - 1) // 3
+
+    def proposer_for(self, height: int, round_number: int) -> str:
+        """Deterministic rotation: a *different* proposer every block."""
+        return self.validator_ids[(height + round_number) % self.n]
+
+    def mark_faulty(self, validator_id: str) -> None:
+        """Fault-inject: this validator neither proposes nor votes."""
+        if validator_id not in self.validator_ids:
+            raise ConsensusError(f"unknown validator {validator_id!r}")
+        self.faulty.add(validator_id)
+
+    def _vote(self, voter: str, step: TMStep, height: int, rnd: int, digest: bytes) -> TMVote:
+        key = self.im.record(voter).key
+        message = ("tm-vote", step.value, height, rnd, digest)
+        return TMVote(
+            step=step, height=height, round=rnd, digest=digest,
+            voter=voter, signature=sign(key, message),
+        )
+
+    def run(self, payload: Any, height: int = 1, max_rounds: int = 16) -> Any:
+        """Decide one height; returns the decided payload.
+
+        Raises:
+            ConsensusError: quorum unreachable (too many faults) or the
+                round budget is exhausted.
+        """
+        honest = [v for v in self.validator_ids if v not in self.faulty]
+        if len(honest) < self.quorum:
+            raise ConsensusError(
+                f"only {len(honest)} honest validators < quorum {self.quorum}"
+            )
+        for rnd in range(max_rounds):
+            self.rounds_used += 1
+            proposer = self.proposer_for(height, rnd)
+            proposer_alive = proposer not in self.faulty
+            digest = hash_value((height, rnd, payload)) if proposer_alive else NIL
+            # Propose: proposer -> everyone else (if alive).
+            if proposer_alive:
+                self.messages_exchanged += self.n - 1
+
+            # Prevote: every honest validator broadcasts (all-to-all).
+            prevotes: list[TMVote] = []
+            for v in honest:
+                vote_digest = digest if proposer_alive else NIL
+                prevotes.append(self._vote(v, TMStep.PREVOTE, height, rnd, vote_digest))
+                self.messages_exchanged += self.n - 1
+            for vote in prevotes:
+                if not self.im.verify(vote.voter, vote.signed_message(), vote.signature):
+                    raise ConsensusError(f"invalid prevote from {vote.voter!r}")
+            block_prevotes = sum(1 for v in prevotes if not v.is_nil)
+
+            # Precommit: only with a 2f+1 prevote quorum for the block.
+            if block_prevotes >= self.quorum:
+                precommits = []
+                for v in honest:
+                    precommits.append(
+                        self._vote(v, TMStep.PRECOMMIT, height, rnd, digest)
+                    )
+                    self.messages_exchanged += self.n - 1
+                for vote in precommits:
+                    if not self.im.verify(
+                        vote.voter, vote.signed_message(), vote.signature
+                    ):
+                        raise ConsensusError(f"invalid precommit from {vote.voter!r}")
+                if len(precommits) >= self.quorum:
+                    return payload
+            # Nil round: rotate the proposer and try again (validators
+            # still exchanged their nil prevotes above).
+        raise ConsensusError(f"no decision within {max_rounds} rounds")

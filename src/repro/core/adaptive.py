@@ -1,0 +1,125 @@
+"""Adaptive efficiency control — an extension beyond the paper.
+
+The paper leaves ``f`` as a static tunable: *"The larger f is, the
+faster the execution of the protocol would be"* at the price of
+unchecked-transaction risk.  Operationally one wants the *dual* knob —
+"keep the mistake rate under epsilon and make f as large as that
+allows".  :class:`AdaptiveF` implements that controller with an
+AIMD (additive-increase, multiplicative-decrease) rule over the
+observed outcomes of revealed unchecked transactions:
+
+* every revealed truth that *confirms* the unchecked record is evidence
+  the mechanism is sampling reliable collectors -> additively raise f;
+* every revealed mistake multiplicatively cuts f.
+
+AIMD converges to an f whose long-run mistake rate tracks the target,
+and reacts within O(1/decrease) reveals to an adversarial phase change
+(e.g. sleepers defecting) — the property the ablation bench measures.
+
+This module is self-contained: the controller consumes reveal outcomes
+and produces the f to use next; both engines accept per-round parameter
+updates by swapping ``params``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.params import ProtocolParams
+from repro.exceptions import ConfigurationError
+
+__all__ = ["AdaptiveF"]
+
+
+@dataclass
+class AdaptiveF:
+    """AIMD controller for the efficiency parameter ``f``.
+
+    Args:
+        target_mistake_rate: Acceptable long-run mistakes per unchecked
+            reveal (epsilon).
+        initial_f: Starting point.
+        increase: Additive step applied per clean reveal, scaled by the
+            target (a clean reveal is weak evidence; a mistake strong).
+        decrease: Multiplicative cut applied per mistake.
+        f_min / f_max: Clamps — f must stay inside (0, 1) for the
+            protocol, and operators usually want a floor so the system
+            never degenerates to check-everything.
+        rate_decay: EWMA factor for the mistake-rate estimate.  A
+            *recency-weighted* estimate (rather than the all-time
+            average) is what lets the controller recover after a bad
+            phase: once the reputation mechanism has demoted the
+            defectors and mistakes stop, the estimate decays back under
+            the target and f climbs again.
+    """
+
+    target_mistake_rate: float = 0.02
+    initial_f: float = 0.5
+    increase: float = 0.01
+    decrease: float = 0.5
+    f_min: float = 0.05
+    f_max: float = 0.95
+    rate_decay: float = 0.99
+    reveals: int = field(default=0, repr=False)
+    mistakes: int = field(default=0, repr=False)
+    _f: float = field(init=False, repr=False)
+    _rate: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_mistake_rate < 1.0:
+            raise ConfigurationError("target_mistake_rate must be in (0, 1)")
+        if not 0.0 < self.f_min < self.f_max < 1.0:
+            raise ConfigurationError("need 0 < f_min < f_max < 1")
+        if not self.f_min <= self.initial_f <= self.f_max:
+            raise ConfigurationError("initial_f must lie within [f_min, f_max]")
+        if self.increase <= 0:
+            raise ConfigurationError("increase step must be positive")
+        if not 0.0 < self.decrease < 1.0:
+            raise ConfigurationError("decrease factor must be in (0, 1)")
+        if not 0.0 < self.rate_decay < 1.0:
+            raise ConfigurationError("rate_decay must be in (0, 1)")
+        self._f = self.initial_f
+        self._rate = 0.0
+
+    @property
+    def f(self) -> float:
+        """The controller's current efficiency parameter."""
+        return self._f
+
+    @property
+    def observed_mistake_rate(self) -> float:
+        """All-time mistakes per reveal (reporting only; control uses EWMA)."""
+        return self.mistakes / self.reveals if self.reveals else 0.0
+
+    @property
+    def recent_mistake_rate(self) -> float:
+        """The EWMA estimate the control law acts on."""
+        return self._rate
+
+    def observe_reveal(self, was_mistake: bool) -> float:
+        """Feed one revealed unchecked-transaction outcome; returns new f.
+
+        AIMD: clean reveal -> ``f += increase * headroom * (1 - f)``
+        (damped near the ceiling and near the target); mistake ->
+        ``f *= decrease``.
+        """
+        self.reveals += 1
+        self._rate = self.rate_decay * self._rate + (
+            (1.0 - self.rate_decay) if was_mistake else 0.0
+        )
+        if was_mistake:
+            self.mistakes += 1
+            self._f = max(self._f * self.decrease, self.f_min)
+        else:
+            # Scale the additive step by how far below target the recent
+            # rate sits, so the controller settles instead of oscillating.
+            headroom = 1.0 - self._rate / self.target_mistake_rate
+            step = self.increase * max(headroom, 0.0)
+            self._f = min(self._f + step * (1.0 - self._f), self.f_max)
+        return self._f
+
+    def apply_to(self, params: ProtocolParams) -> ProtocolParams:
+        """A copy of ``params`` carrying the controller's current f."""
+        from dataclasses import replace
+
+        return replace(params, f=self._f)

@@ -1,0 +1,356 @@
+"""Packet-level protocol engine over the simulated synchronous network.
+
+:class:`NetworkedProtocolEngine` executes the same protocol as
+:class:`repro.core.protocol.ProtocolEngine`, but every interaction is a
+real message through :class:`~repro.network.simnet.SyncNetwork` +
+:class:`~repro.network.broadcast.AtomicBroadcast`, with the timing
+structure of Algorithm 2:
+
+* providers broadcast into per-collector *feed* groups at round start;
+* collectors label on delivery and atomically broadcast uploads to the
+  *uploads* group (all governors);
+* each governor starts a Δ timer on the **first** report of a
+  transaction (``starttime(tx, Δ)``) and screens it when the timer
+  fires (``endtime(tx)``) — per-transaction, not per-batch;
+* at the round cutoff the leader packs its screened records into a
+  block and broadcasts it on the *blocks* group; every governor appends
+  on delivery;
+* providers then read the block from the store and send ``argue``
+  messages point-to-point to every governor.
+
+Message counts come from the network's real counters
+(``engine.network.stats``), which lets tests cross-check the in-process
+engine's analytic accounting against packet-level truth.
+
+The engine is slower than the in-process one (every payload is a
+scheduled event), so the big statistical experiments use
+``ProtocolEngine``; this engine is the fidelity reference for
+integration tests and the Δ-timing experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.agents.behaviors import CollectorBehavior, HonestBehavior
+from repro.agents.collector import Collector
+from repro.agents.governor import Governor
+from repro.agents.provider import Provider
+from repro.consensus.pos import LeaderElection
+from repro.consensus.stake import StakeLedger
+from repro.core.params import ProtocolParams
+from repro.core.rewards import distribute_rewards
+from repro.crypto.identity import IdentityManager, Role
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.ledger.block import GENESIS_PREV_HASH, Block
+from repro.ledger.properties import RunTranscript
+from repro.ledger.store import BlockStore
+from repro.ledger.transaction import LabeledTransaction, SignedTransaction, TxRecord
+from repro.ledger.validation import CountingOracle, GroundTruthOracle
+from repro.network.broadcast import AtomicBroadcast
+from repro.network.simnet import Message, Simulator, SyncNetwork
+from repro.network.topology import Topology
+from repro.workloads.generator import TxSpec
+
+__all__ = ["ArgueRequest", "NetworkedRoundResult", "NetworkedProtocolEngine"]
+
+
+@dataclass(frozen=True)
+class ArgueRequest:
+    """A provider's ``argue(tx, s)`` message to a governor."""
+
+    provider: str
+    tx_id: str
+    serial: int
+    kind: str = "argue"
+
+
+@dataclass
+class NetworkedRoundResult:
+    """Outcome of one networked round."""
+
+    round_number: int
+    leader: str
+    block: Block
+    argues_sent: int
+    rewards: Mapping[str, float]
+
+
+class NetworkedProtocolEngine:
+    """The protocol over real (simulated) packets.
+
+    Args:
+        topology: Node link structure.
+        params: Protocol parameters; ``params.delta`` is the screening
+            timer and must cover the upload-arrival spread, i.e. be at
+            least ``2 * max_delay`` (checked at construction).
+        behaviors: collector id -> behaviour (honest default).
+        seed: Master seed for agents, network latencies, and draws.
+        min_delay / max_delay: Channel latency bounds (the synchrony
+            assumption's Δ-net).
+        stake: governor id -> stake units (default 1 each).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        params: ProtocolParams,
+        behaviors: Mapping[str, CollectorBehavior] | None = None,
+        seed: int = 0,
+        min_delay: float = 0.005,
+        max_delay: float = 0.05,
+        stake: Mapping[str, int] | None = None,
+    ):
+        if params.delta < 2 * max_delay:
+            raise ConfigurationError(
+                f"screening timer delta={params.delta} must be >= 2*max_delay="
+                f"{2 * max_delay} to cover the report spread"
+            )
+        self.topology = topology
+        self.params = params
+        self.im = IdentityManager(seed=seed)
+        self.oracle = GroundTruthOracle()
+        self.transcript = RunTranscript()
+        self.store = BlockStore()
+        self.sim = Simulator(seed=seed)
+        self.network = SyncNetwork(
+            self.sim, min_delay=min_delay, max_delay=max_delay, seed=seed + 1
+        )
+        self.broadcast = AtomicBroadcast(self.network)
+        self._master = np.random.default_rng(seed)
+        self._round = 0
+        self._reevaluated_queue: dict[str, TxRecord] = {}
+        self._round_records: dict[str, list[TxRecord]] = {}
+        self._argues_sent = 0
+        self.rewards_paid: dict[str, float] = {}
+
+        behaviors = dict(behaviors or {})
+        unknown = set(behaviors) - set(topology.collectors)
+        if unknown:
+            raise ConfigurationError(f"behaviours for unknown collectors: {sorted(unknown)}")
+
+        # -- enrolment and agents ---------------------------------------
+        self.providers: dict[str, Provider] = {}
+        for pid in topology.providers:
+            key = self.im.enroll(pid, Role.PROVIDER)
+            self.providers[pid] = Provider(
+                provider_id=pid, key=key, linked_collectors=topology.collectors_of(pid)
+            )
+        self.collectors: dict[str, Collector] = {}
+        for cid in topology.collectors:
+            key = self.im.enroll(cid, Role.COLLECTOR)
+            self.collectors[cid] = Collector(
+                collector_id=cid,
+                key=key,
+                linked_providers=topology.providers_of(cid),
+                behavior=behaviors.get(cid, HonestBehavior()),
+                rng=np.random.default_rng(self._master.integers(2**63)),
+            )
+            for pid in topology.providers_of(cid):
+                self.im.register_link(cid, pid)
+        self.governors: dict[str, Governor] = {}
+        for gid in topology.governors:
+            key = self.im.enroll(gid, Role.GOVERNOR)
+            gov = Governor(
+                governor_id=gid,
+                key=key,
+                params=params,
+                im=self.im,
+                oracle=CountingOracle(inner=self.oracle),
+                rng=np.random.default_rng(self._master.integers(2**63)),
+            )
+            gov.register_topology(topology)
+            self.governors[gid] = gov
+            self._round_records[gid] = []
+
+        initial_stake = dict(stake) if stake else {g: 1 for g in topology.governors}
+        self.stake = StakeLedger.from_balances(initial_stake)
+        self.election = LeaderElection(im=self.im, governor_order=list(topology.governors))
+
+        # -- network wiring ----------------------------------------------
+        for cid in topology.collectors:
+            self.broadcast.create_group(f"feed:{cid}", [cid])
+        self.broadcast.create_group("uploads", list(topology.governors))
+        self.broadcast.create_group("blocks", list(topology.governors))
+
+        for cid in topology.collectors:
+            self.network.register(cid, self._collector_on_message(cid))
+            self.broadcast.register_handler(
+                f"feed:{cid}", cid, self._collector_on_feed(cid)
+            )
+        for gid in topology.governors:
+            self.network.register(gid, self._governor_on_message(gid))
+            self.broadcast.register_handler("uploads", gid, self._governor_on_upload(gid))
+            self.broadcast.register_handler("blocks", gid, self._governor_on_block(gid))
+        for pid in topology.providers:
+            self.network.register(pid, lambda message: None)
+
+        # Per-governor Δ timers: (gid, tx_id) -> scheduled (once).
+        self._timers_started: set[tuple[str, str]] = set()
+
+    # -- handlers ---------------------------------------------------------
+
+    def _collector_on_message(self, cid: str):
+        def handle(message: Message) -> None:
+            self.broadcast.on_message(cid, message)
+        return handle
+
+    def _collector_on_feed(self, cid: str):
+        def handle(sender: str, tx: SignedTransaction) -> None:
+            labeled = self.collectors[cid].process(tx, self.oracle)
+            if labeled is not None:
+                self.transcript.collector_uploads.add(tx.tx_id)
+                self.broadcast.broadcast("uploads", cid, labeled)
+        return handle
+
+    def _governor_on_message(self, gid: str):
+        def handle(message: Message) -> None:
+            if self.broadcast.on_message(gid, message):
+                return
+            payload = message.payload
+            if isinstance(payload, ArgueRequest):
+                self._governor_on_argue(gid, payload)
+        return handle
+
+    def _governor_on_upload(self, gid: str):
+        def handle(sender: str, upload: LabeledTransaction) -> None:
+            governor = self.governors[gid]
+            tx_id = upload.tx.tx_id
+            fresh = tx_id not in governor.buffered_tx_ids
+            if governor.ingest_upload(upload) and fresh:
+                # Algorithm 2's starttime(tx, Δ) — first report arms it.
+                key = (gid, tx_id)
+                if key not in self._timers_started:
+                    self._timers_started.add(key)
+                    self.sim.schedule_after(
+                        self.params.delta,
+                        lambda: self._governor_endtime(gid, tx_id),
+                        label=f"endtime:{gid}:{tx_id[:8]}",
+                    )
+        return handle
+
+    def _governor_endtime(self, gid: str, tx_id: str) -> None:
+        """Algorithm 2's endtime(tx): screen when the Δ timer fires."""
+        governor = self.governors[gid]
+        if tx_id not in governor.buffered_tx_ids:
+            return  # already screened (defensive; timers arm only once)
+        record = governor.screen_single(tx_id)
+        if record is not None:
+            self._round_records[gid].append(record)
+
+    def _governor_on_block(self, gid: str):
+        def handle(sender: str, block: Block) -> None:
+            self.governors[gid].ledger.append(block)
+        return handle
+
+    def _governor_on_argue(self, gid: str, request: ArgueRequest) -> None:
+        record = self.governors[gid].handle_argue(request.tx_id)
+        if record is not None:
+            self._reevaluated_queue[request.tx_id] = record
+
+    # -- round execution ----------------------------------------------------
+
+    def run_round(self, specs: Sequence[TxSpec]) -> NetworkedRoundResult:
+        """Execute one full round in simulated time."""
+        if len(specs) + len(self._reevaluated_queue) > self.params.b_limit:
+            raise ConfigurationError("round exceeds b_limit")
+        self._round += 1
+        round_number = self._round
+        t0 = self.sim.now
+        cutoff = t0 + 2 * self.network.max_delay + self.params.delta + 0.001
+
+        # Phase 1: providers broadcast at t0.
+        for spec in specs:
+            provider = self.providers[spec.provider]
+            tx = provider.create_transaction(spec.payload, timestamp=t0)
+            self.oracle.assign(tx, spec.is_valid)
+            self.transcript.provider_broadcasts.add(tx.tx_id)
+            if spec.is_valid and provider.active:
+                self.transcript.honest_valid_tx.add(tx.tx_id)
+            for cid in provider.linked_collectors:
+                self.broadcast.broadcast(f"feed:{cid}", provider.provider_id, tx)
+        # Forgery opportunities: once per collector per round.
+        for collector in self.collectors.values():
+            forged = collector.maybe_forge(timestamp=t0)
+            if forged is not None:
+                self.broadcast.broadcast("uploads", collector.collector_id, forged)
+
+        # Phase 3 trigger: leader packs at the cutoff.
+        leader_id = self.election.run(self.stake, round_number)
+        packed: dict[str, Block] = {}
+
+        def pack_block() -> None:
+            records = list(self._reevaluated_queue.values()) + self._round_records[
+                leader_id
+            ]
+            self._reevaluated_queue.clear()
+            # Pack against the canonical published tip.  A leader that
+            # somehow lags (e.g. healed from a partition) must extend the
+            # agreed chain, not its stale local copy; in a synchronous
+            # deployment the two coincide.
+            prev_hash = (
+                GENESIS_PREV_HASH
+                if self.store.height == 0
+                else self.store.retrieve(self.store.height).hash()
+            )
+            block = Block(
+                serial=self.store.height + 1,
+                tx_list=tuple(records),
+                prev_hash=prev_hash,
+                proposer=leader_id,
+                round_number=round_number,
+                b_limit=self.params.b_limit,
+            )
+            self.store.publish(block)
+            packed["block"] = block
+            self.broadcast.broadcast("blocks", leader_id, block)
+
+        self.sim.schedule_at(cutoff, pack_block, label=f"pack:{round_number}")
+        # Drain the round: block dissemination takes one more hop.
+        self.sim.run(until=cutoff + self.network.max_delay + 0.001)
+        for gid in self.topology.governors:
+            self._round_records[gid].clear()
+        block = packed.get("block")
+        if block is None:
+            raise SimulationError("leader failed to pack a block")
+
+        # Phase 4: providers read the block and argue.
+        argues_before = self._argues_sent
+        for provider in self.providers.values():
+            fresh = self.store.next_for(provider.provider_id)
+            while fresh is not None:
+                for tx_id in provider.review_block(fresh, self.oracle):
+                    self.transcript.argue_calls.add(tx_id)
+                    self._argues_sent += 1
+                    request = ArgueRequest(
+                        provider=provider.provider_id, tx_id=tx_id, serial=fresh.serial
+                    )
+                    for gid in self.topology.governors:
+                        self.network.send(provider.provider_id, gid, request)
+                fresh = self.store.next_for(provider.provider_id)
+        self.sim.run(until=self.sim.now + self.network.max_delay + 0.001)
+
+        rewards = distribute_rewards(self.params, self.governors[leader_id].book)
+        for cid, amount in rewards.items():
+            self.rewards_paid[cid] = self.rewards_paid.get(cid, 0.0) + amount
+
+        return NetworkedRoundResult(
+            round_number=round_number,
+            leader=leader_id,
+            block=block,
+            argues_sent=self._argues_sent - argues_before,
+            rewards=rewards,
+        )
+
+    def finalize(self) -> None:
+        """Reveal all pending unchecked truths (closes the loss books)."""
+        for governor in self.governors.values():
+            for tx_id in list(governor._pending_unchecked):
+                governor.reveal_truth(tx_id, self.oracle)
+
+    def ledgers(self) -> list:
+        """Every governor's replica, for property checks."""
+        return [g.ledger for g in self.governors.values()]

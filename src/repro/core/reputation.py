@@ -1,0 +1,171 @@
+"""Reputation vectors — the paper's ``r_{j,i}``.
+
+Each governor ``g_j`` keeps, for each collector ``c_i``, an
+``(s + 2)``-length vector
+
+    r_{j,i} = (w_{j,i,k_1}, ..., w_{j,i,k_s}, w_misreport, w_forge)
+
+* the first ``s`` entries are **multiplicative weights**, one per
+  provider the collector oversees, updated with the β/γ discounts when
+  the truth of an *unchecked* transaction is revealed (Algorithm 3,
+  case 3) — these drive the source-selection probabilities and the
+  Theorem-1 regret bound;
+* ``w_misreport`` is an **additive counter**: +1 for each *checked*
+  transaction the collector labeled correctly, -1 otherwise (case 2);
+* ``w_forge`` is an additive counter decremented for every forged
+  upload (case 1).
+
+:class:`ReputationBook` is one governor's full table ``R_j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.exceptions import ConfigurationError, ProtocolViolationError
+
+__all__ = ["ReputationVector", "ReputationBook"]
+
+#: Reputations are clamped above this floor so that a collector that was
+#: wrong many times keeps a representable (if negligible) weight; the
+#: paper's analysis never divides by a single weight, only by sums, and
+#: the floor keeps those sums strictly positive for numerical safety.
+WEIGHT_FLOOR = 1e-300
+
+
+@dataclass
+class ReputationVector:
+    """One collector's reputation as seen by one governor."""
+
+    provider_weights: dict[str, float]
+    misreport: int = 0
+    forge: int = 0
+
+    @staticmethod
+    def fresh(providers: Iterable[str], initial: float = 1.0) -> "ReputationVector":
+        """A new collector's vector: every provider entry at ``initial``."""
+        if initial <= 0:
+            raise ConfigurationError(f"initial reputation must be positive, got {initial}")
+        return ReputationVector(provider_weights={p: initial for p in providers})
+
+    def weight(self, provider: str) -> float:
+        """``w_{j,i,k}`` for provider ``k``.
+
+        Raises:
+            ProtocolViolationError: the collector does not oversee ``provider``
+                (reputation entries exist only for linked providers).
+        """
+        try:
+            return self.provider_weights[provider]
+        except KeyError:
+            raise ProtocolViolationError(
+                f"no reputation entry for provider {provider!r}"
+            ) from None
+
+    def scale(self, provider: str, factor: float) -> None:
+        """Multiply a provider entry by ``factor`` (β or γ), with floor."""
+        if factor <= 0:
+            raise ConfigurationError(f"reputation factor must be positive, got {factor}")
+        current = self.weight(provider)
+        self.provider_weights[provider] = max(current * factor, WEIGHT_FLOOR)
+
+    def as_tuple(self) -> tuple:
+        """The (s+2)-vector in the paper's layout, provider entries sorted."""
+        ordered = tuple(self.provider_weights[p] for p in sorted(self.provider_weights))
+        return ordered + (self.misreport, self.forge)
+
+    @property
+    def s(self) -> int:
+        """Number of provider entries."""
+        return len(self.provider_weights)
+
+
+@dataclass
+class ReputationBook:
+    """One governor's reputation table ``R_j`` over all collectors."""
+
+    governor: str
+    initial: float = 1.0
+    _vectors: dict[str, ReputationVector] = field(default_factory=dict)
+
+    def register_collector(self, collector: str, providers: Iterable[str]) -> None:
+        """Create the fresh (s+2)-vector for a newly known collector."""
+        if collector in self._vectors:
+            raise ProtocolViolationError(
+                f"collector {collector!r} already registered with {self.governor!r}"
+            )
+        self._vectors[collector] = ReputationVector.fresh(providers, self.initial)
+
+    def vector(self, collector: str) -> ReputationVector:
+        """The full vector for ``collector``.
+
+        Raises:
+            ProtocolViolationError: unknown collector.
+        """
+        try:
+            return self._vectors[collector]
+        except KeyError:
+            raise ProtocolViolationError(
+                f"collector {collector!r} not registered with {self.governor!r}"
+            ) from None
+
+    def collectors(self) -> Iterable[str]:
+        """All registered collector ids."""
+        return self._vectors.keys()
+
+    def weight(self, collector: str, provider: str) -> float:
+        """``w_{j,i,k}`` shortcut."""
+        return self.vector(collector).weight(provider)
+
+    def weights_for(
+        self, provider: str, collectors: Iterable[str]
+    ) -> Mapping[str, float]:
+        """The weights w.r.t. ``provider`` of the given collectors."""
+        return {c: self.weight(c, provider) for c in collectors}
+
+    # -- Algorithm 3 entry points ---------------------------------------
+
+    def record_forge(self, collector: str) -> None:
+        """Case 1: decrement ``w_forge`` for a forged upload."""
+        self.vector(collector).forge -= 1
+
+    def record_checked(self, collector: str, labeled_correctly: bool) -> None:
+        """Case 2: ±1 on ``w_misreport`` for a checked transaction."""
+        self.vector(collector).misreport += 1 if labeled_correctly else -1
+
+    def apply_revealed_truth(
+        self,
+        provider: str,
+        outcomes: Mapping[str, str],
+        beta: float,
+        gamma: float,
+    ) -> None:
+        """Case 3: multiplicative update once an unchecked truth is revealed.
+
+        Args:
+            provider: The transaction's provider ``p_k``.
+            outcomes: collector id -> one of ``"correct"`` (×1),
+                ``"wrong"`` (×gamma), ``"missed"`` (×beta) — exactly the
+                prose of Section 3.4.2.  (The paper's Algorithm-3 listing
+                ambiguously types the else-branch; the prose and the
+                Theorem-1 potential argument fix correct→1, wrong→γ,
+                missed→β, which we follow.)
+            beta: Conceal discount.
+            gamma: Mislabel discount ``gamma_tx`` for this transaction.
+        """
+        for collector, outcome in outcomes.items():
+            if outcome == "correct":
+                continue
+            if outcome == "wrong":
+                self.vector(collector).scale(provider, gamma)
+            elif outcome == "missed":
+                self.vector(collector).scale(provider, beta)
+            else:
+                raise ProtocolViolationError(
+                    f"unknown reveal outcome {outcome!r} for {collector!r}"
+                )
+
+    def total_weight(self, provider: str, collectors: Iterable[str]) -> float:
+        """Sum of weights w.r.t. ``provider`` over ``collectors``."""
+        return sum(self.weight(c, provider) for c in collectors)

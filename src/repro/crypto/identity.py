@@ -1,0 +1,175 @@
+"""Identity Manager (IM) — the permissioning substrate.
+
+Section 3.1 of the paper: *"an Identity Manager (IM) is responsible for
+recording the members of the chain as well as their roles. Meanwhile, it
+is in charge of providing nodes credentials that are used for
+authenticating and authorizing. As a default, an IM should contain all
+standard PKI methods and play the role of a Certificate Authority."*
+
+The :class:`IdentityManager` here is that component: it enrolls nodes
+with a role, issues signing credentials, and offers a global
+``verify(d, m)`` matching the paper's function — including the extra
+collector rule that a collector-uploaded message must carry a signature
+by a provider that collector is actually linked with.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from repro.crypto.signatures import Signature, SigningKey, sign, verify_with_key
+from repro.exceptions import UnknownIdentityError
+
+__all__ = ["Role", "NodeRecord", "IdentityManager"]
+
+
+class Role(enum.Enum):
+    """The three node roles of the hierarchical model (plus the IM itself)."""
+
+    PROVIDER = "provider"
+    COLLECTOR = "collector"
+    GOVERNOR = "governor"
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """The IM's record for one enrolled member."""
+
+    node_id: str
+    role: Role
+    key: SigningKey
+
+    def fingerprint(self) -> str:
+        """Public identifier of the member's credential."""
+        return self.key.fingerprint()
+
+
+@dataclass
+class IdentityManager:
+    """Trusted membership service: enrolment, credentials, verification.
+
+    The IM is a *trusted* component in the permissioned setting, so the
+    simulation keeps all secrets in one registry; nodes only ever receive
+    their own :class:`SigningKey`.
+
+    Args:
+        seed: Seed for credential generation, for reproducible runs.
+    """
+
+    seed: int = 0
+    _records: dict[str, NodeRecord] = field(default_factory=dict)
+    _links: dict[str, set[str]] = field(default_factory=dict)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    # -- enrolment ----------------------------------------------------
+
+    def enroll(self, node_id: str, role: Role) -> SigningKey:
+        """Register a member and return its signing credential.
+
+        Raises:
+            UnknownIdentityError: if ``node_id`` is already enrolled
+                (identities are unique within the alliance).
+        """
+        if node_id in self._records:
+            raise UnknownIdentityError(f"node {node_id!r} already enrolled")
+        secret = self._rng.bytes(32)
+        key = SigningKey(owner=node_id, secret=secret)
+        self._records[node_id] = NodeRecord(node_id=node_id, role=role, key=key)
+        return key
+
+    def register_link(self, collector_id: str, provider_id: str) -> None:
+        """Record that ``collector_id`` is linked with ``provider_id``.
+
+        The paper's ``verify`` rejects a collector message whose embedded
+        provider signature names a provider the collector is *not* linked
+        with; the IM is the natural owner of that link table.
+        """
+        self.record(collector_id)  # raises if unknown
+        self.record(provider_id)
+        self._links.setdefault(collector_id, set()).add(provider_id)
+
+    # -- queries ------------------------------------------------------
+
+    def record(self, node_id: str) -> NodeRecord:
+        """The enrolment record for ``node_id``.
+
+        Raises:
+            UnknownIdentityError: if the node was never enrolled.
+        """
+        try:
+            return self._records[node_id]
+        except KeyError:
+            raise UnknownIdentityError(f"node {node_id!r} is not enrolled") from None
+
+    def is_enrolled(self, node_id: str) -> bool:
+        """Whether ``node_id`` is a member of the chain."""
+        return node_id in self._records
+
+    def role_of(self, node_id: str) -> Role:
+        """Role the member was enrolled with."""
+        return self.record(node_id).role
+
+    def members(self, role: Role | None = None) -> Iterator[str]:
+        """Iterate enrolled node ids, optionally filtered by role."""
+        for node_id, rec in self._records.items():
+            if role is None or rec.role is role:
+                yield node_id
+
+    def links_of(self, collector_id: str) -> frozenset[str]:
+        """The providers a collector is registered as linked with."""
+        return frozenset(self._links.get(collector_id, frozenset()))
+
+    def is_linked(self, collector_id: str, provider_id: str) -> bool:
+        """Whether the IM knows a collector-provider link."""
+        return provider_id in self._links.get(collector_id, ())
+
+    # -- authentication -----------------------------------------------
+
+    def sign_as(self, node_id: str, message: Any) -> Signature:
+        """Sign on behalf of an enrolled node (test/simulation helper)."""
+        return sign(self.record(node_id).key, message)
+
+    def verify(self, sender_id: str, message: Any, signature: Signature) -> bool:
+        """The paper's ``verify(d, m)``: authenticate ``message`` from ``d``.
+
+        Returns False when the signature does not check out against the
+        registered credential of ``sender_id`` or the sender is unknown.
+        The collector-specific embedded-provider rule is implemented by
+        :meth:`verify_collector_upload` because it needs the message
+        structure, not just bytes.
+        """
+        if sender_id not in self._records:
+            return False
+        return verify_with_key(self._records[sender_id].key, message, signature)
+
+    def verify_collector_upload(
+        self,
+        collector_id: str,
+        message: Any,
+        signature: Signature,
+        embedded_provider: str,
+        embedded_signature: Signature,
+        embedded_message: Any,
+    ) -> bool:
+        """Full ``verify`` for collector uploads.
+
+        Checks, per Section 3.1: (1) the collector's own signature over
+        the upload, (2) that the upload embeds a provider signature that
+        verifies, and (3) that the collector is linked with that provider.
+        """
+        if not self.verify(collector_id, message, signature):
+            return False
+        if not self.is_linked(collector_id, embedded_provider):
+            return False
+        return self.verify(embedded_provider, embedded_message, embedded_signature)
+
+    def export_directory(self) -> Mapping[str, str]:
+        """Public directory: node id -> role name (no secrets)."""
+        return {nid: rec.role.value for nid, rec in self._records.items()}

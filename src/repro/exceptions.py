@@ -1,0 +1,102 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A parameter set violates the constraints required by the protocol.
+
+    Raised, for example, when the efficiency parameter ``f`` is outside
+    ``(0, 1)`` or when the reputation discounts ``beta``/``gamma`` violate
+    the inequality ``beta**2 <= gamma <= beta <= (gamma - 1) * L / 2 + 1``.
+    """
+
+
+class CryptoError(ReproError):
+    """Base class for failures in the cryptographic substrate."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed verification or could not be produced."""
+
+
+class UnknownIdentityError(CryptoError):
+    """An operation referenced a node id not registered with the IM/CA."""
+
+
+class VRFError(CryptoError):
+    """A VRF proof failed verification."""
+
+
+class LedgerError(ReproError):
+    """Base class for ledger/blockchain integrity failures."""
+
+
+class ChainIntegrityError(LedgerError):
+    """A block's previous-hash link does not match the preceding block."""
+
+
+class SkippedBlockError(LedgerError):
+    """A block was appended whose serial number is not the next in sequence."""
+
+
+class AgreementError(LedgerError):
+    """Two replicas retrieved different blocks for the same serial number."""
+
+
+class BlockNotFoundError(LedgerError):
+    """``retrieve(s)`` was called for a serial number not yet in the store."""
+
+
+class BlockLimitExceededError(LedgerError):
+    """A block contains more transactions than the universal bound b_limit."""
+
+
+class NetworkError(ReproError):
+    """Base class for failures in the simulated network substrate."""
+
+
+class TopologyError(NetworkError):
+    """The provider/collector/governor link structure is inconsistent.
+
+    The paper requires ``r * l == s * n`` (each of the ``l`` providers
+    links to ``r`` collectors and each of the ``n`` collectors serves
+    ``s`` providers).
+    """
+
+
+class SimulationError(NetworkError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class SynchronyViolationError(NetworkError):
+    """A message delay exceeded the known synchrony bound Delta."""
+
+
+class ConsensusError(ReproError):
+    """Base class for consensus-layer failures."""
+
+
+class LeaderElectionError(ConsensusError):
+    """Leader election could not complete (e.g. no stake in the system)."""
+
+
+class StakeError(ConsensusError):
+    """An invalid stake operation (negative balance, unknown governor...)."""
+
+
+class LeaderMisbehaviourError(ConsensusError):
+    """Evidence shows the round leader equivocated or proposed bad state."""
+
+
+class ProtocolViolationError(ReproError):
+    """A node deviated from the protocol in a way honest code must reject."""

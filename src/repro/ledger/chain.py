@@ -1,0 +1,151 @@
+"""The hash-chained ledger and its safety invariants.
+
+:class:`Ledger` is a single replica's copy of the chain.  ``append``
+enforces, at write time, the properties the paper states in Section 3.1:
+
+* **Chain Integrity** — the new block's ``prev_hash`` must equal the
+  hash of the current tip;
+* **No Skipping** — serials are consecutive starting at 1;
+* the universal block size bound ``b_limit`` (checked by ``Block``).
+
+**Agreement** is a cross-replica property; :func:`check_agreement`
+compares any number of replicas.  The remaining two properties (Almost
+No Creation, Validity) depend on protocol history, so they live in
+:mod:`repro.ledger.properties` where the full run transcript is
+available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.exceptions import (
+    AgreementError,
+    BlockNotFoundError,
+    ChainIntegrityError,
+    SkippedBlockError,
+)
+from repro.ledger.block import GENESIS_PREV_HASH, Block
+from repro.ledger.transaction import TxRecord
+
+__all__ = ["Ledger", "check_agreement"]
+
+
+@dataclass
+class Ledger:
+    """One replica's append-only chain with ``retrieve(s)`` access."""
+
+    owner: str = "replica"
+    _blocks: list[Block] = field(default_factory=list)
+    _tx_index: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    # -- writes --------------------------------------------------------
+
+    def append(self, block: Block) -> None:
+        """Append ``block``, enforcing No-Skipping and Chain Integrity.
+
+        Raises:
+            SkippedBlockError: serial is not ``height + 1``.
+            ChainIntegrityError: prev_hash does not match the tip.
+        """
+        expected_serial = self.height + 1
+        if block.serial != expected_serial:
+            raise SkippedBlockError(
+                f"{self.owner}: expected serial {expected_serial}, got {block.serial}"
+            )
+        expected_prev = self.tip_hash()
+        if block.prev_hash != expected_prev:
+            raise ChainIntegrityError(
+                f"{self.owner}: block {block.serial} prev_hash mismatch"
+            )
+        self._blocks.append(block)
+        for idx, rec in enumerate(block.tx_list):
+            # Later occurrences win: a re-evaluated transaction appears in a
+            # newer block, and lookups should see its final disposition.
+            self._tx_index[rec.tx.tx_id] = (block.serial, idx)
+
+    # -- reads ---------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Serial number of the tip (0 when empty)."""
+        return len(self._blocks)
+
+    def tip_hash(self) -> bytes:
+        """Hash the next block must reference."""
+        return GENESIS_PREV_HASH if not self._blocks else self._blocks[-1].hash()
+
+    def retrieve(self, serial: int) -> Block:
+        """The paper's ``retrieve(s)``.
+
+        Raises:
+            BlockNotFoundError: serial not yet on this replica.
+        """
+        if not 1 <= serial <= self.height:
+            raise BlockNotFoundError(
+                f"{self.owner}: no block with serial {serial} (height {self.height})"
+            )
+        return self._blocks[serial - 1]
+
+    def blocks(self) -> Iterator[Block]:
+        """Iterate blocks in serial order."""
+        return iter(self._blocks)
+
+    def find_record(self, tx_id: str) -> tuple[Block, TxRecord] | None:
+        """Latest (block, record) containing ``tx_id``, or None."""
+        loc = self._tx_index.get(tx_id)
+        if loc is None:
+            return None
+        block = self._blocks[loc[0] - 1]
+        return block, block.tx_list[loc[1]]
+
+    def all_records(self) -> Iterator[tuple[int, TxRecord]]:
+        """Iterate (serial, record) pairs over the whole chain."""
+        for block in self._blocks:
+            for rec in block.tx_list:
+                yield block.serial, rec
+
+    def verify_integrity(self) -> None:
+        """Re-validate the whole chain (serials + hash links) from genesis.
+
+        Raises:
+            SkippedBlockError / ChainIntegrityError: on corruption.
+        """
+        prev = GENESIS_PREV_HASH
+        for idx, block in enumerate(self._blocks, start=1):
+            if block.serial != idx:
+                raise SkippedBlockError(
+                    f"{self.owner}: serial {block.serial} at position {idx}"
+                )
+            if block.prev_hash != prev:
+                raise ChainIntegrityError(
+                    f"{self.owner}: hash link broken at serial {idx}"
+                )
+            prev = block.hash()
+
+
+def check_agreement(replicas: Iterable[Ledger]) -> None:
+    """Agreement: same-serial blocks are identical across replicas.
+
+    Compares block hashes up to the shortest height among the replicas
+    (a replica that is merely *behind* does not violate agreement in a
+    synchronous run still in progress).
+
+    Raises:
+        AgreementError: two replicas retrieved different blocks for one s.
+    """
+    ledgers = list(replicas)
+    if len(ledgers) < 2:
+        return
+    common = min(ledger.height for ledger in ledgers)
+    reference = ledgers[0]
+    for serial in range(1, common + 1):
+        want = reference.retrieve(serial).hash()
+        for other in ledgers[1:]:
+            got = other.retrieve(serial).hash()
+            if got != want:
+                raise AgreementError(
+                    f"replicas {reference.owner!r} and {other.owner!r} "
+                    f"disagree at serial {serial}"
+                )

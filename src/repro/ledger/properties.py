@@ -1,0 +1,150 @@
+"""Run-level safety and liveness property checkers (Section 3.1).
+
+The five properties the protocol must satisfy:
+
+1. **Agreement** — same-serial blocks identical across replicas
+   (:func:`repro.ledger.chain.check_agreement`).
+2. **Chain Integrity** — ``h' = H(B)`` links (checked on append and by
+   :meth:`Ledger.verify_integrity`; re-checked here across a run).
+3. **No Skipping** — consecutive serials (same).
+4. **Almost No Creation** — every transaction perceived in a block was
+   previously broadcast by a provider *and* a collector.  This needs the
+   broadcast transcript, so the checker takes a :class:`RunTranscript`.
+5. **Validity** — a valid transaction from an honest *active* provider
+   eventually appears (with a valid disposition) in a block.
+
+:class:`RunTranscript` is the minimal trace protocol runs record to make
+4 and 5 checkable after the fact; the simulation harness populates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.exceptions import LedgerError
+from repro.ledger.chain import Ledger, check_agreement
+from repro.ledger.transaction import CheckStatus, Label
+
+__all__ = ["RunTranscript", "PropertyReport", "check_all_properties"]
+
+
+@dataclass
+class RunTranscript:
+    """What happened during a run, as needed by the property checkers.
+
+    Attributes:
+        provider_broadcasts: tx ids that went through broadcast_provider.
+        collector_uploads: tx ids that went through broadcast_collector.
+        honest_valid_tx: tx ids of *valid* transactions sent by honest,
+            active providers (the Validity property quantifies these).
+        argue_calls: tx ids the provider argued about.
+    """
+
+    provider_broadcasts: set[str] = field(default_factory=set)
+    collector_uploads: set[str] = field(default_factory=set)
+    honest_valid_tx: set[str] = field(default_factory=set)
+    argue_calls: set[str] = field(default_factory=set)
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of checking all five properties over a run."""
+
+    agreement: bool = True
+    chain_integrity: bool = True
+    no_skipping: bool = True
+    almost_no_creation: bool = True
+    validity: bool = True
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def all_hold(self) -> bool:
+        """True iff every property held."""
+        return (
+            self.agreement
+            and self.chain_integrity
+            and self.no_skipping
+            and self.almost_no_creation
+            and self.validity
+        )
+
+
+def check_all_properties(
+    replicas: Iterable[Ledger],
+    transcript: RunTranscript,
+    run_complete: bool = True,
+) -> PropertyReport:
+    """Check the five Section-3.1 properties over a finished run.
+
+    Args:
+        replicas: Every governor's ledger copy.
+        transcript: The run's broadcast/argue trace.
+        run_complete: When False, the Validity check is skipped — a
+            still-running system has not had "eventually" yet.
+
+    Returns:
+        A :class:`PropertyReport`; inspect ``violations`` for details.
+    """
+    ledgers = list(replicas)
+    if not ledgers:
+        raise LedgerError("need at least one replica to check properties")
+    report = PropertyReport()
+
+    try:
+        check_agreement(ledgers)
+    except Exception as exc:  # AgreementError
+        report.agreement = False
+        report.violations.append(f"agreement: {exc}")
+
+    for ledger in ledgers:
+        try:
+            ledger.verify_integrity()
+        except Exception as exc:
+            # verify_integrity distinguishes the two failure modes.
+            if "serial" in str(exc):
+                report.no_skipping = False
+                report.violations.append(f"no-skipping: {exc}")
+            else:
+                report.chain_integrity = False
+                report.violations.append(f"chain-integrity: {exc}")
+
+    # Almost No Creation: everything in any replica must have been both
+    # provider-broadcast and collector-uploaded.
+    for ledger in ledgers:
+        for serial, rec in ledger.all_records():
+            tx_id = rec.tx.tx_id
+            if tx_id not in transcript.provider_broadcasts:
+                report.almost_no_creation = False
+                report.violations.append(
+                    f"almost-no-creation: tx {tx_id} in block {serial} of "
+                    f"{ledger.owner} was never provider-broadcast"
+                )
+            if tx_id not in transcript.collector_uploads:
+                report.almost_no_creation = False
+                report.violations.append(
+                    f"almost-no-creation: tx {tx_id} in block {serial} of "
+                    f"{ledger.owner} was never collector-uploaded"
+                )
+
+    if run_complete:
+        reference = ledgers[0]
+        for tx_id in transcript.honest_valid_tx:
+            found = reference.find_record(tx_id)
+            if found is None:
+                report.validity = False
+                report.violations.append(
+                    f"validity: honest valid tx {tx_id} never appeared in a block"
+                )
+                continue
+            _block, rec = found
+            # "Appear in a block eventually" with its true (valid) status:
+            # either checked-valid, or re-evaluated to valid after an argue.
+            ok = rec.label is Label.VALID or rec.status is CheckStatus.REEVALUATED
+            if not ok:
+                report.validity = False
+                report.violations.append(
+                    f"validity: honest valid tx {tx_id} is permanently "
+                    f"recorded as {rec.label.name}/{rec.status.value}"
+                )
+    return report

@@ -1,0 +1,81 @@
+"""Shared block store: the read path for every node.
+
+Providers and collectors are not consensus participants, but the paper
+gives *every* node ``retrieve(s)`` (Section 3.1) — providers must read
+blocks to notice a mislabeled transaction and ``argue``.  The
+:class:`BlockStore` is the distribution point: governors publish
+committed blocks, any node reads them, and per-reader cursors let active
+providers consume the chain in order without missing a block (the
+definition of an *active* node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import AgreementError, BlockNotFoundError
+from repro.ledger.block import Block
+
+__all__ = ["BlockStore"]
+
+
+@dataclass
+class BlockStore:
+    """Append-once, read-many block distribution.
+
+    Publishing the same serial twice with an identical block is a no-op
+    (every governor publishes each round); publishing a *different*
+    block for an existing serial raises — that would be an Agreement
+    violation surfacing at the storage layer.
+    """
+
+    _blocks: dict[int, Block] = field(default_factory=dict)
+    _cursors: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def height(self) -> int:
+        """Highest serial published so far."""
+        return max(self._blocks, default=0)
+
+    def publish(self, block: Block) -> None:
+        """Make ``block`` available to all readers.
+
+        Raises:
+            AgreementError: a conflicting block exists for this serial.
+        """
+        existing = self._blocks.get(block.serial)
+        if existing is not None:
+            if existing.hash() != block.hash():
+                raise AgreementError(
+                    f"conflicting blocks published for serial {block.serial}"
+                )
+            return
+        self._blocks[block.serial] = block
+
+    def retrieve(self, serial: int) -> Block:
+        """The paper's ``retrieve(s)`` for any node.
+
+        Raises:
+            BlockNotFoundError: serial not yet published.
+        """
+        try:
+            return self._blocks[serial]
+        except KeyError:
+            raise BlockNotFoundError(f"no published block with serial {serial}") from None
+
+    def next_for(self, reader: str) -> Block | None:
+        """Next unread block for ``reader`` in serial order, or None.
+
+        Advances the reader's cursor; an *active* provider polls this
+        every round so that no block escapes its argue check.
+        """
+        cursor = self._cursors.get(reader, 0)
+        block = self._blocks.get(cursor + 1)
+        if block is None:
+            return None
+        self._cursors[reader] = cursor + 1
+        return block
+
+    def unread_count(self, reader: str) -> int:
+        """How many published blocks ``reader`` has not consumed yet."""
+        return self.height - self._cursors.get(reader, 0)

@@ -1,0 +1,110 @@
+"""Transaction validity: the ``validate(tx)`` oracle.
+
+The paper treats validity as an oracle bit: collectors and governors can
+both call ``validate(tx)`` and always learn the true status (collectors
+may then *lie about* it; governors pay a cost to call it).  We model the
+ground truth as a :class:`ValidityOracle` strategy object so that:
+
+* synthetic workloads fix validity at generation time
+  (:class:`GroundTruthOracle`);
+* domain applications derive validity from payload semantics
+  (:class:`RuleOracle` wraps a predicate over the payload);
+* experiments can count every governor-side validation
+  (:class:`CountingOracle`), which is what the efficiency benches
+  measure — the paper's whole point is reducing these calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.exceptions import LedgerError
+from repro.ledger.transaction import SignedTransaction
+
+__all__ = [
+    "ValidityOracle",
+    "GroundTruthOracle",
+    "RuleOracle",
+    "CountingOracle",
+]
+
+
+class ValidityOracle(Protocol):
+    """Anything that can answer ``validate(tx)`` with the true status."""
+
+    def validate(self, tx: SignedTransaction) -> bool:
+        """True iff ``tx`` is genuinely valid."""
+        ...
+
+
+@dataclass
+class GroundTruthOracle:
+    """Validity fixed per transaction id at workload-generation time."""
+
+    _truth: dict[str, bool] = field(default_factory=dict)
+
+    def assign(self, tx: SignedTransaction, is_valid: bool) -> None:
+        """Record the ground truth for ``tx`` (idempotent if unchanged).
+
+        Raises:
+            LedgerError: on an attempt to flip an already-assigned truth,
+                which would make experiment accounting meaningless.
+        """
+        prior = self._truth.get(tx.tx_id)
+        if prior is not None and prior != is_valid:
+            raise LedgerError(f"conflicting ground truth for tx {tx.tx_id}")
+        self._truth[tx.tx_id] = is_valid
+
+    def validate(self, tx: SignedTransaction) -> bool:
+        """The true status; unknown transactions are invalid (forgeries)."""
+        return self._truth.get(tx.tx_id, False)
+
+    def knows(self, tx: SignedTransaction) -> bool:
+        """Whether ``tx`` was generated through this oracle."""
+        return tx.tx_id in self._truth
+
+    def __len__(self) -> int:
+        return len(self._truth)
+
+
+@dataclass
+class RuleOracle:
+    """Validity derived from payload semantics via a predicate.
+
+    Domain apps use this: e.g. an insurance application is valid iff its
+    declared history is consistent with the registry.
+    """
+
+    predicate: Callable[[SignedTransaction], bool]
+
+    def validate(self, tx: SignedTransaction) -> bool:
+        """Apply the domain rule."""
+        return bool(self.predicate(tx))
+
+
+@dataclass
+class CountingOracle:
+    """Wrap an oracle and count calls — the governor's validation cost.
+
+    ``cost_per_call`` lets efficiency benches convert counts into a time
+    model without re-running.
+    """
+
+    inner: ValidityOracle
+    cost_per_call: float = 1.0
+    calls: int = 0
+
+    def validate(self, tx: SignedTransaction) -> bool:
+        """Delegate and count."""
+        self.calls += 1
+        return self.inner.validate(tx)
+
+    @property
+    def total_cost(self) -> float:
+        """Accumulated validation cost under the linear cost model."""
+        return self.calls * self.cost_per_call
+
+    def reset(self) -> None:
+        """Zero the counter (between experiment phases)."""
+        self.calls = 0

@@ -1,0 +1,31 @@
+"""Synchronous network substrate.
+
+Discrete-event simulation, bounded-drift clocks, point-to-point channels
+with the synchrony bound Delta, atomic (total-order) broadcast, and the
+Figure-1 topology builder.
+"""
+
+from repro.network.broadcast import AtomicBroadcast, SequencedPayload
+from repro.network.clock import GlobalClock, LocalClock
+from repro.network.events import Event, EventQueue
+from repro.network.simnet import Message, NetworkStats, Simulator, SyncNetwork
+from repro.network.topology import Topology, collector_id, governor_id, provider_id
+from repro.network.visibility import VisibilityMap
+
+__all__ = [
+    "AtomicBroadcast",
+    "Event",
+    "EventQueue",
+    "GlobalClock",
+    "LocalClock",
+    "Message",
+    "NetworkStats",
+    "SequencedPayload",
+    "Simulator",
+    "SyncNetwork",
+    "Topology",
+    "VisibilityMap",
+    "collector_id",
+    "governor_id",
+    "provider_id",
+]

@@ -1,0 +1,174 @@
+"""Atomic (total-order) broadcast primitives.
+
+The paper requires that ``broadcast_provider``, ``broadcast_collector``
+and ``broadcast_governor`` all implement atomic broadcast — total-order
+delivery [Cachin-Guerraoui-Rodrigues] — so that receivers agree on the
+order of messages from the same layer and "collectors are not confused
+about the order of transactions" (Section 3.2).
+
+In a synchronous permissioned network, total order can be realised with
+a sequencer: the (trusted for ordering, not for content) Identity
+Manager timestamps each broadcast with a global sequence number, and
+receivers deliver in sequence-number order, buffering out-of-order
+arrivals.  :class:`AtomicBroadcast` implements exactly that.  It gives:
+
+* **validity** — a broadcast by a correct sender is delivered to every
+  registered, non-partitioned receiver;
+* **total order** — all receivers in a group deliver the same sequence;
+* **integrity** — each broadcast is delivered at most once per receiver.
+
+Each broadcast *group* (providers->their collectors, collectors->governors,
+governors->governors) is an independent total order, which is all the
+protocol needs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import SimulationError
+from repro.network.simnet import Message, SyncNetwork
+
+__all__ = ["SequencedPayload", "AtomicBroadcast"]
+
+
+@dataclass(frozen=True)
+class SequencedPayload:
+    """A broadcast payload stamped with its group-wide sequence number."""
+
+    group: str
+    seqno: int
+    sender: str
+    body: Any
+    kind: str = "abcast"
+
+
+@dataclass
+class _ReceiverState:
+    """Delivery buffer of one receiver within one group."""
+
+    next_seqno: int = 0
+    pending: list[tuple[int, int, SequencedPayload, Message]] = field(default_factory=list)
+    tiebreak: itertools.count = field(default_factory=itertools.count)
+
+
+class AtomicBroadcast:
+    """Sequencer-based total-order broadcast over a :class:`SyncNetwork`.
+
+    One instance manages many named groups.  Group membership is static
+    after :meth:`join` calls, matching the permissioned setting where
+    membership is known.
+    """
+
+    def __init__(self, network: SyncNetwork):
+        self.network = network
+        self._members: dict[str, list[str]] = {}
+        self._deliver: dict[tuple[str, str], Callable[[str, Any], None]] = {}
+        self._state: dict[tuple[str, str], _ReceiverState] = {}
+        self._next_seqno: dict[str, int] = {}
+
+    def create_group(self, group: str, members: list[str]) -> None:
+        """Declare a broadcast group with a fixed receiver set."""
+        if group in self._members:
+            raise SimulationError(f"broadcast group {group!r} already exists")
+        if len(set(members)) != len(members):
+            raise SimulationError(f"duplicate members in group {group!r}")
+        self._members[group] = list(members)
+        self._next_seqno[group] = 0
+        for member in members:
+            self._state[(group, member)] = _ReceiverState()
+
+    def members_of(self, group: str) -> list[str]:
+        """The receiver set of ``group``."""
+        try:
+            return list(self._members[group])
+        except KeyError:
+            raise SimulationError(f"unknown broadcast group {group!r}") from None
+
+    def register_handler(
+        self, group: str, member: str, handler: Callable[[str, Any], None]
+    ) -> None:
+        """Set the in-order delivery callback ``handler(sender, body)``."""
+        if (group, member) not in self._state:
+            raise SimulationError(f"{member!r} is not a member of group {group!r}")
+        self._deliver[(group, member)] = handler
+
+    def broadcast(self, group: str, sender: str, body: Any, size_hint: int = 1) -> int:
+        """Atomically broadcast ``body`` to every member of ``group``.
+
+        Returns the assigned sequence number.  The sender need not be a
+        member (providers broadcast *to* collectors without receiving).
+        """
+        if group not in self._members:
+            raise SimulationError(f"unknown broadcast group {group!r}")
+        seqno = self._next_seqno[group]
+        self._next_seqno[group] = seqno + 1
+        payload = SequencedPayload(group=group, seqno=seqno, sender=sender, body=body)
+        for member in self._members[group]:
+            self.network.send(sender, member, payload, size_hint=size_hint)
+        return seqno
+
+    # -- receiver side -------------------------------------------------
+
+    def on_message(self, member: str, message: Message) -> bool:
+        """Feed a raw network message into the broadcast layer.
+
+        Returns True if the message was a broadcast payload for a group
+        this member belongs to (whether delivered now or buffered); False
+        lets the caller route non-broadcast traffic elsewhere.
+        """
+        payload = message.payload
+        if not isinstance(payload, SequencedPayload):
+            return False
+        key = (payload.group, member)
+        state = self._state.get(key)
+        if state is None:
+            return False
+        heapq.heappush(
+            state.pending, (payload.seqno, next(state.tiebreak), payload, message)
+        )
+        self._drain(key, state)
+        return True
+
+    def _drain(self, key: tuple[str, str], state: _ReceiverState) -> None:
+        handler = self._deliver.get(key)
+        while state.pending and state.pending[0][0] <= state.next_seqno:
+            seqno, _tie, payload, _msg = heapq.heappop(state.pending)
+            if seqno < state.next_seqno:
+                # Duplicate delivery attempt; integrity says drop it.
+                continue
+            state.next_seqno = seqno + 1
+            if handler is not None:
+                handler(payload.sender, payload.body)
+
+    def delivered_count(self, group: str, member: str) -> int:
+        """How many broadcasts this member has delivered in-order so far."""
+        state = self._state.get((group, member))
+        return 0 if state is None else state.next_seqno
+
+    def skip_to(self, group: str, member: str, seqno: int) -> None:
+        """Recovery hook: advance a member's delivery cursor to ``seqno``.
+
+        A member that missed broadcasts while crashed/partitioned can
+        never deliver later ones (total order blocks on the gap).  After
+        it recovers the missed *content* out-of-band — e.g. blocks via
+        :func:`repro.ledger.sync.sync_replica` — it calls ``skip_to`` to
+        declare seqnos below ``seqno`` handled, which releases buffered
+        later messages.  Moving the cursor backwards is a no-op
+        (delivered messages are never replayed).
+        """
+        state = self._state.get((group, member))
+        if state is None:
+            raise SimulationError(f"{member!r} is not a member of group {group!r}")
+        if seqno > state.next_seqno:
+            state.next_seqno = seqno
+        self._drain((group, member), state)
+
+    def current_seqno(self, group: str) -> int:
+        """The next sequence number the group will assign."""
+        if group not in self._members:
+            raise SimulationError(f"unknown broadcast group {group!r}")
+        return self._next_seqno[group]

@@ -1,0 +1,84 @@
+"""Synchronized clocks with bounded drift.
+
+Section 3.1 assumes a synchronous system: *"each node is equipped with a
+local physical clock and there is an upper bound on the rate at which
+any local clock deviates from a global real-time clock"*.
+
+:class:`GlobalClock` is the simulation's real-time reference driven by
+the event loop; :class:`LocalClock` derives a node's physical clock from
+it with a bounded drift rate and offset, so timestamp-dependent logic
+(transaction timestamps, the Delta timer in screening) can be tested
+under worst-case drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+
+__all__ = ["GlobalClock", "LocalClock"]
+
+
+@dataclass
+class GlobalClock:
+    """Monotonic global real-time clock advanced by the simulator."""
+
+    _now: float = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current global time."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move time forward to ``t``.
+
+        Raises:
+            SimulationError: on an attempt to move time backwards, which
+                would indicate event-queue corruption.
+        """
+        if t < self._now:
+            raise SimulationError(f"clock cannot move backwards: {t} < {self._now}")
+        self._now = t
+
+
+@dataclass
+class LocalClock:
+    """A node's physical clock: ``local = offset + rate * global``.
+
+    The synchrony assumption bounds ``|rate - 1| <= max_drift_rate`` and
+    ``|offset| <= max_offset``; the constructor enforces the bounds so a
+    misconfigured experiment fails loudly instead of silently breaking
+    the synchronous-model analysis.
+    """
+
+    global_clock: GlobalClock
+    offset: float = 0.0
+    rate: float = 1.0
+    max_drift_rate: float = 0.01
+    max_offset: float = 1.0
+    _field_check: None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if abs(self.rate - 1.0) > self.max_drift_rate + 1e-12:
+            raise SimulationError(
+                f"clock rate {self.rate} exceeds drift bound {self.max_drift_rate}"
+            )
+        if abs(self.offset) > self.max_offset:
+            raise SimulationError(
+                f"clock offset {self.offset} exceeds bound {self.max_offset}"
+            )
+
+    @property
+    def now(self) -> float:
+        """This node's local physical time."""
+        return self.offset + self.rate * self.global_clock.now
+
+    def max_deviation_at(self, horizon: float) -> float:
+        """Worst-case |local - global| once global time reaches ``horizon``.
+
+        Useful when sizing the screening timer Delta: a timer must be
+        padded by the deviation bound to be safe under drift.
+        """
+        return abs(self.offset) + abs(self.rate - 1.0) * horizon

@@ -1,0 +1,88 @@
+"""Event queue for the discrete-event simulator.
+
+A tiny, deterministic priority queue: events fire in (time, sequence)
+order, so two events scheduled for the same instant execute in the order
+they were scheduled.  Determinism here is what makes whole-protocol runs
+reproducible bit-for-bit from a seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exceptions import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, seq)``; the callback itself never affects
+    ordering.  ``cancelled`` events stay in the heap but are skipped on
+    pop (lazy deletion — O(log n) cancel without heap surgery).
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def schedule(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Enqueue ``callback`` to fire at ``time``; returns a cancellable handle.
+
+        Raises:
+            SimulationError: for a negative or non-finite time.
+        """
+        if not (time >= 0.0) or time != time or time == float("inf"):
+            raise SimulationError(f"invalid event time: {time!r}")
+        event = Event(time=time, seq=next(self._counter), callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event.
+
+        Raises:
+            SimulationError: if the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SimulationError("pop from empty event queue")
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or None if the queue is drained."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (idempotent, lazy deletion)."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1

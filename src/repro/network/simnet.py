@@ -1,0 +1,234 @@
+"""Discrete-event simulator and synchronous message-passing network.
+
+The paper assumes a synchronous system (Section 3.1): known upper bounds
+on processing and transmission delays.  :class:`Simulator` provides the
+event loop; :class:`SyncNetwork` layers message delivery with per-message
+delays drawn in ``(min_delay, max_delay]`` where ``max_delay`` plays the
+role of the paper's synchrony bound.  Delivery order between distinct
+(sender, receiver) pairs is by delivery time; per-channel FIFO is
+enforced so a node never observes reordering from a single peer, which
+the atomic-broadcast layer builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.exceptions import SimulationError, SynchronyViolationError
+from repro.network.clock import GlobalClock
+from repro.network.events import Event, EventQueue
+
+__all__ = ["Message", "Simulator", "SyncNetwork", "NetworkStats"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """An in-flight network message."""
+
+    sender: str
+    receiver: str
+    payload: Any
+    sent_at: float
+    deliver_at: float
+
+    @property
+    def latency(self) -> float:
+        """Transmission delay experienced by this message."""
+        return self.deliver_at - self.sent_at
+
+
+@dataclass
+class NetworkStats:
+    """Counters used by the complexity experiments (E7).
+
+    ``messages_by_kind`` buckets on ``payload.kind`` when present (all
+    protocol payloads define it) so benches can report per-phase counts.
+    """
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_by_kind: dict[str, int] = field(default_factory=dict)
+    latencies: list[float] = field(default_factory=list)
+
+    def record(self, message: Message, size_hint: int) -> None:
+        """Account for one sent message."""
+        self.messages_sent += 1
+        self.bytes_sent += size_hint
+        self.latencies.append(message.latency)
+        kind = getattr(message.payload, "kind", type(message.payload).__name__)
+        self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + 1
+
+    def latency_percentile(self, q: float) -> float:
+        """The q-th latency percentile (q in [0, 100]) over sent messages.
+
+        Raises:
+            SimulationError: no messages recorded or q out of range.
+        """
+        if not self.latencies:
+            raise SimulationError("no messages recorded yet")
+        if not 0.0 <= q <= 100.0:
+            raise SimulationError(f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(self.latencies, q))
+
+
+class Simulator:
+    """Deterministic discrete-event loop.
+
+    Runs callbacks in (time, schedule-order); the global clock is only
+    ever advanced by the loop, so all code observes a consistent notion
+    of "now".
+    """
+
+    def __init__(self, seed: int = 0):
+        self.clock = GlobalClock()
+        self.queue = EventQueue()
+        self.rng = np.random.default_rng(seed)
+        self._steps = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.clock.now
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at absolute time ``time`` (>= now)."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule in the past: {time} < {self.now}")
+        return self.queue.schedule(time, callback, label)
+
+    def schedule_after(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` after a relative ``delay`` (>= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.queue.schedule(self.now + delay, callback, label)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self.queue.cancel(event)
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        if not self.queue:
+            return False
+        event = self.queue.pop()
+        self.clock.advance_to(event.time)
+        event.callback()
+        self._steps += 1
+        return True
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> int:
+        """Drain the event queue, optionally stopping at time ``until``.
+
+        Returns the number of events executed.  ``max_events`` is a
+        runaway guard: exceeding it raises instead of hanging a bench.
+        """
+        executed = 0
+        while self.queue:
+            next_time = self.queue.peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                self.clock.advance_to(until)
+                break
+            if not self.step():
+                break
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
+        return executed
+
+
+class SyncNetwork:
+    """Point-to-point synchronous network over a :class:`Simulator`.
+
+    Args:
+        sim: The event loop that drives delivery.
+        min_delay: Lower bound on message latency.
+        max_delay: The synchrony bound Delta-net; every message arrives
+            within it.  Screening's per-transaction window must be at
+            least the spread collectors' uploads can exhibit.
+        seed: Per-network RNG seed for latency draws (independent of the
+            simulator's RNG so workload randomness does not perturb
+            network timing and vice versa).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        min_delay: float = 0.01,
+        max_delay: float = 0.1,
+        seed: int = 1,
+    ):
+        if not 0 <= min_delay <= max_delay:
+            raise SimulationError(
+                f"need 0 <= min_delay <= max_delay, got [{min_delay}, {max_delay}]"
+            )
+        self.sim = sim
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+        self.stats = NetworkStats()
+        self._rng = np.random.default_rng(seed)
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+        # Per (sender, receiver) channel: time of the latest scheduled
+        # delivery, used to enforce FIFO per channel.
+        self._channel_front: dict[tuple[str, str], float] = {}
+        self._partitioned: set[str] = set()
+
+    def register(self, node_id: str, handler: Callable[[Message], None]) -> None:
+        """Attach a node's message handler; overwrites any previous one."""
+        self._handlers[node_id] = handler
+
+    def partition(self, node_id: str) -> None:
+        """Crash-fault a node: messages to/from it are silently dropped.
+
+        Used by failure-injection tests; the paper's model has no
+        governor crashes, but the substrate supports exploring them.
+        """
+        self._partitioned.add(node_id)
+
+    def heal(self, node_id: str) -> None:
+        """Reconnect a partitioned node."""
+        self._partitioned.discard(node_id)
+
+    def _draw_delay(self) -> float:
+        if self.max_delay == self.min_delay:
+            return self.max_delay
+        return float(self._rng.uniform(self.min_delay, self.max_delay))
+
+    def send(self, sender: str, receiver: str, payload: Any, size_hint: int = 1) -> None:
+        """Send one message; delivery is scheduled on the event loop.
+
+        Dropped silently if either endpoint is partitioned — the sender
+        cannot tell, exactly as with a real crash fault.
+        """
+        if receiver not in self._handlers:
+            raise SimulationError(f"no handler registered for receiver {receiver!r}")
+        now = self.sim.now
+        delay = self._draw_delay()
+        if delay > self.max_delay:
+            raise SynchronyViolationError(
+                f"drawn delay {delay} exceeds synchrony bound {self.max_delay}"
+            )
+        deliver_at = now + delay
+        # FIFO per channel: never deliver before the channel's current front.
+        key = (sender, receiver)
+        front = self._channel_front.get(key, 0.0)
+        deliver_at = max(deliver_at, front)
+        self._channel_front[key] = deliver_at
+        message = Message(
+            sender=sender, receiver=receiver, payload=payload,
+            sent_at=now, deliver_at=deliver_at,
+        )
+        self.stats.record(message, size_hint)
+        if sender in self._partitioned or receiver in self._partitioned:
+            return
+        handler = self._handlers[receiver]
+        self.sim.schedule_at(
+            deliver_at, lambda: handler(message), label=f"deliver:{sender}->{receiver}"
+        )
+
+    def multicast(self, sender: str, receivers: list[str], payload: Any, size_hint: int = 1) -> None:
+        """Send the same payload to each receiver (independent delays)."""
+        for receiver in receivers:
+            self.send(sender, receiver, payload, size_hint)

@@ -1,0 +1,228 @@
+"""Hierarchical topology builder (Figure 1 of the paper).
+
+The model links ``l`` providers, ``n`` collectors and ``m`` governors:
+each provider submits to ``r`` collectors, each collector receives from
+``s`` providers, hence ``r * l == s * n``; every governor connects to
+all collectors (the default the paper assumes).
+
+:class:`Topology` constructs and validates such a structure.  Two
+builders are offered:
+
+* :meth:`Topology.regular` — a deterministic circulant design where
+  provider ``k`` links to collectors ``k*r//s ... `` in a balanced way,
+  guaranteeing *exact* degrees ``r`` and ``s``;
+* :meth:`Topology.random_regular` — a seeded random bipartite regular
+  graph via configuration-model shuffling, for experiments that need
+  varied overlap patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+
+__all__ = ["Topology", "provider_id", "collector_id", "governor_id"]
+
+
+def provider_id(k: int) -> str:
+    """Canonical node id of provider ``p_k`` (0-based)."""
+    return f"p{k}"
+
+
+def collector_id(i: int) -> str:
+    """Canonical node id of collector ``c_i`` (0-based)."""
+    return f"c{i}"
+
+
+def governor_id(j: int) -> str:
+    """Canonical node id of governor ``g_j`` (0-based)."""
+    return f"g{j}"
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An immutable provider/collector/governor link structure.
+
+    Attributes:
+        providers: Ordered provider ids (length ``l``).
+        collectors: Ordered collector ids (length ``n``).
+        governors: Ordered governor ids (length ``m``).
+        provider_links: provider id -> tuple of its ``r`` collector ids.
+        collector_links: collector id -> tuple of its ``s`` provider ids.
+    """
+
+    providers: tuple[str, ...]
+    collectors: tuple[str, ...]
+    governors: tuple[str, ...]
+    provider_links: dict[str, tuple[str, ...]] = field(hash=False)
+    collector_links: dict[str, tuple[str, ...]] = field(hash=False)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def regular(l: int, n: int, m: int, r: int) -> "Topology":
+        """Build the deterministic circulant topology.
+
+        Provider ``k`` links to collectors ``(k + 0) % n, ..., (k + r - 1) % n``
+        scaled so degrees balance.  Requires ``r * l % n == 0`` so that
+        ``s = r * l / n`` is integral, and ``r <= n``.
+
+        Raises:
+            TopologyError: when the degree equation cannot be satisfied.
+        """
+        if min(l, n, m, r) < 1:
+            raise TopologyError(f"all sizes must be >= 1, got l={l} n={n} m={m} r={r}")
+        if r > n:
+            raise TopologyError(f"provider degree r={r} exceeds collector count n={n}")
+        if (r * l) % n != 0:
+            raise TopologyError(
+                f"r*l = {r * l} is not divisible by n = {n}; "
+                "the paper requires r*l == s*n with integral s"
+            )
+        providers = tuple(provider_id(k) for k in range(l))
+        collectors = tuple(collector_id(i) for i in range(n))
+        governors = tuple(governor_id(j) for j in range(m))
+        provider_links: dict[str, tuple[str, ...]] = {}
+        collector_links: dict[str, list[str]] = {c: [] for c in collectors}
+        for k in range(l):
+            # Circulant stride keeps per-collector load exactly s.
+            start = (k * r) % n
+            chosen = tuple(collectors[(start + offset) % n] for offset in range(r))
+            provider_links[providers[k]] = chosen
+            for c in chosen:
+                collector_links[c].append(providers[k])
+        return Topology(
+            providers=providers,
+            collectors=collectors,
+            governors=governors,
+            provider_links=provider_links,
+            collector_links={c: tuple(ps) for c, ps in collector_links.items()},
+        )
+
+    @staticmethod
+    def random_regular(l: int, n: int, m: int, r: int, seed: int = 0) -> "Topology":
+        """Random bipartite (r, s)-biregular topology.
+
+        Built as a randomly relabeled circulant: the deterministic
+        balanced design of :meth:`regular` composed with independent
+        random permutations of the provider and collector index spaces.
+        Always simple (no multi-edges), always exactly biregular, and
+        deterministic in ``seed``; overlap patterns vary with the seed,
+        which is what the sensitivity experiments need.
+        """
+        if min(l, n, m, r) < 1:
+            raise TopologyError(f"all sizes must be >= 1, got l={l} n={n} m={m} r={r}")
+        if r > n:
+            raise TopologyError(f"provider degree r={r} exceeds collector count n={n}")
+        if (r * l) % n != 0:
+            raise TopologyError(f"r*l = {r * l} not divisible by n = {n}")
+        rng = np.random.default_rng(seed)
+        providers = tuple(provider_id(k) for k in range(l))
+        collectors = tuple(collector_id(i) for i in range(n))
+        governors = tuple(governor_id(j) for j in range(m))
+        provider_perm = rng.permutation(l)
+        collector_perm = rng.permutation(n)
+        provider_links = {}
+        for k in range(l):
+            start = (int(provider_perm[k]) * r) % n
+            chosen = tuple(
+                collectors[int(collector_perm[(start + offset) % n])]
+                for offset in range(r)
+            )
+            provider_links[providers[k]] = tuple(sorted(chosen))
+        collector_links: dict[str, list[str]] = {c: [] for c in collectors}
+        for p, cs in provider_links.items():
+            for c in cs:
+                collector_links[c].append(p)
+        return Topology(
+            providers=providers,
+            collectors=collectors,
+            governors=governors,
+            provider_links=provider_links,
+            collector_links={c: tuple(ps) for c, ps in collector_links.items()},
+        )
+
+    # -- derived quantities ----------------------------------------------
+
+    @property
+    def l(self) -> int:
+        """Number of providers."""
+        return len(self.providers)
+
+    @property
+    def n(self) -> int:
+        """Number of collectors."""
+        return len(self.collectors)
+
+    @property
+    def m(self) -> int:
+        """Number of governors."""
+        return len(self.governors)
+
+    @property
+    def r(self) -> int:
+        """Collectors per provider."""
+        return len(next(iter(self.provider_links.values())))
+
+    @property
+    def s(self) -> int:
+        """Providers per collector."""
+        return len(next(iter(self.collector_links.values())))
+
+    def collectors_of(self, provider: str) -> tuple[str, ...]:
+        """The ``r`` collectors a provider broadcasts to."""
+        try:
+            return self.provider_links[provider]
+        except KeyError:
+            raise TopologyError(f"unknown provider {provider!r}") from None
+
+    def providers_of(self, collector: str) -> tuple[str, ...]:
+        """The ``s`` providers a collector oversees."""
+        try:
+            return self.collector_links[collector]
+        except KeyError:
+            raise TopologyError(f"unknown collector {collector!r}") from None
+
+    def edges(self) -> Iterator[tuple[str, str]]:
+        """Iterate (provider, collector) link pairs."""
+        for p, cs in self.provider_links.items():
+            for c in cs:
+                yield (p, c)
+
+    def validate(self) -> None:
+        """Check the degree equation r*l == s*n and link consistency.
+
+        Raises:
+            TopologyError: on any inconsistency.
+        """
+        if not self.providers or not self.collectors or not self.governors:
+            raise TopologyError("topology must have at least one node of each role")
+        degrees_r = {len(cs) for cs in self.provider_links.values()}
+        degrees_s = {len(ps) for ps in self.collector_links.values()}
+        if len(degrees_r) != 1:
+            raise TopologyError(f"provider degrees are not uniform: {sorted(degrees_r)}")
+        if len(degrees_s) != 1:
+            raise TopologyError(f"collector degrees are not uniform: {sorted(degrees_s)}")
+        r, s = degrees_r.pop(), degrees_s.pop()
+        if r * len(self.providers) != s * len(self.collectors):
+            raise TopologyError(
+                f"degree equation violated: r*l = {r * len(self.providers)} "
+                f"!= s*n = {s * len(self.collectors)}"
+            )
+        for p, cs in self.provider_links.items():
+            if len(set(cs)) != len(cs):
+                raise TopologyError(f"provider {p!r} linked twice to a collector")
+            for c in cs:
+                if p not in self.collector_links.get(c, ()):
+                    raise TopologyError(f"asymmetric link: {p!r} -> {c!r} not mirrored")
+        for c, ps in self.collector_links.items():
+            for p in ps:
+                if c not in self.provider_links.get(p, ()):
+                    raise TopologyError(f"asymmetric link: {c!r} -> {p!r} not mirrored")

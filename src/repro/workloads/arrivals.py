@@ -1,0 +1,75 @@
+"""Arrival processes: how many transactions enter per round.
+
+The paper's rounds pack up to ``b_limit`` transactions; the arrival
+process controls offered load.  Three standard models:
+
+* :class:`ConstantArrivals` — fixed batch per round;
+* :class:`PoissonArrivals` — Poisson(rate) per round, the classic
+  open-loop model;
+* :class:`DiurnalArrivals` — sinusoidally modulated Poisson, matching
+  the car-sharing scenario's rush hours.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["ArrivalProcess", "ConstantArrivals", "PoissonArrivals", "DiurnalArrivals"]
+
+
+class ArrivalProcess:
+    """Base: per-round transaction counts."""
+
+    def count_for_round(self, round_number: int) -> int:
+        """How many transactions arrive in ``round_number`` (>= 0)."""
+        raise NotImplementedError
+
+
+class ConstantArrivals(ArrivalProcess):
+    """Exactly ``batch`` transactions every round."""
+
+    def __init__(self, batch: int):
+        if batch < 0:
+            raise ConfigurationError(f"batch cannot be negative, got {batch}")
+        self.batch = batch
+
+    def count_for_round(self, round_number: int) -> int:
+        return self.batch
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Poisson(rate) arrivals per round."""
+
+    def __init__(self, rate: float, seed: int = 0):
+        if rate < 0:
+            raise ConfigurationError(f"rate cannot be negative, got {rate}")
+        self.rate = rate
+        self.rng = np.random.default_rng(seed)
+
+    def count_for_round(self, round_number: int) -> int:
+        return int(self.rng.poisson(self.rate))
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Poisson with a sinusoidal day cycle: rate * (1 + amp * sin)."""
+
+    def __init__(self, rate: float, period: int = 24, amplitude: float = 0.5, seed: int = 0):
+        if rate < 0:
+            raise ConfigurationError(f"rate cannot be negative, got {rate}")
+        if period < 1:
+            raise ConfigurationError(f"period must be >= 1, got {period}")
+        if not 0.0 <= amplitude <= 1.0:
+            raise ConfigurationError(f"amplitude must be in [0, 1], got {amplitude}")
+        self.rate = rate
+        self.period = period
+        self.amplitude = amplitude
+        self.rng = np.random.default_rng(seed)
+
+    def count_for_round(self, round_number: int) -> int:
+        phase = 2.0 * math.pi * (round_number % self.period) / self.period
+        lam = self.rate * (1.0 + self.amplitude * math.sin(phase))
+        return int(self.rng.poisson(max(lam, 0.0)))

@@ -1,0 +1,121 @@
+"""Trace-recorded workloads: capture a transaction stream, replay it later.
+
+Reproducing an anomaly often means re-running the *exact* transaction
+stream that triggered it — same providers, same payloads, same ground
+truths — possibly under different protocol parameters or behaviours.
+:class:`RecordingWorkload` wraps any generator and captures what it
+emitted; :func:`dump_specs` / :func:`load_specs` persist the capture as
+JSONL; :class:`ReplayWorkload` feeds it back, erroring loudly if the
+consumer over-reads.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator, Sequence, TextIO
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.generator import TxSpec, WorkloadGenerator
+
+__all__ = ["RecordingWorkload", "ReplayWorkload", "dump_specs", "load_specs"]
+
+
+class RecordingWorkload:
+    """Wrap a generator; remember every spec it hands out."""
+
+    def __init__(self, inner: WorkloadGenerator):
+        self.inner = inner
+        self.recorded: list[TxSpec] = []
+
+    def take(self, n: int) -> list[TxSpec]:
+        """Delegate and record."""
+        specs = self.inner.take(n)
+        self.recorded.extend(specs)
+        return specs
+
+    def stream(self) -> Iterator[TxSpec]:
+        """Delegate and record, one at a time."""
+        for spec in self.inner.stream():
+            self.recorded.append(spec)
+            yield spec
+
+
+class ReplayWorkload:
+    """Hand back a previously captured stream, in order.
+
+    Raises:
+        ConfigurationError: when more transactions are requested than
+            were recorded — silently re-generating different traffic is
+            exactly the bug this class exists to prevent.
+    """
+
+    def __init__(self, specs: Sequence[TxSpec]):
+        self._specs = list(specs)
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    @property
+    def remaining(self) -> int:
+        """Specs not yet replayed."""
+        return len(self._specs) - self._cursor
+
+    def take(self, n: int) -> list[TxSpec]:
+        """The next ``n`` recorded specs."""
+        if n > self.remaining:
+            raise ConfigurationError(
+                f"replay exhausted: asked for {n}, only {self.remaining} recorded "
+                f"specs remain"
+            )
+        out = self._specs[self._cursor : self._cursor + n]
+        self._cursor += n
+        return out
+
+    def rewind(self) -> None:
+        """Restart the replay from the beginning."""
+        self._cursor = 0
+
+
+def dump_specs(specs: Iterable[TxSpec], fp: TextIO) -> int:
+    """Write specs as JSONL; returns the line count."""
+    count = 0
+    for spec in specs:
+        fp.write(
+            json.dumps(
+                {
+                    "provider": spec.provider,
+                    "payload": spec.payload,
+                    "is_valid": spec.is_valid,
+                },
+                sort_keys=True,
+            )
+        )
+        fp.write("\n")
+        count += 1
+    return count
+
+
+def load_specs(lines: Iterable[str]) -> list[TxSpec]:
+    """Parse JSONL back into specs.
+
+    Raises:
+        ConfigurationError: on malformed lines or missing fields.
+    """
+    specs: list[TxSpec] = []
+    for i, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+            specs.append(
+                TxSpec(
+                    provider=obj["provider"],
+                    payload=obj["payload"],
+                    is_valid=bool(obj["is_valid"]),
+                )
+            )
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise ConfigurationError(f"bad spec at line {i}: {exc}") from exc
+    return specs

@@ -1,0 +1,219 @@
+"""Named end-to-end scenarios: reproducible experiment presets.
+
+A scenario bundles everything a full-protocol run needs — topology
+shape, parameters, collector behaviours, workload, stake split, rounds —
+under a name, so benches, the CLI, and downstream users launch identical
+configurations.  :func:`build_engine` materialises a scenario into a
+ready :class:`~repro.core.protocol.ProtocolEngine` plus its workload.
+
+The registry covers the configurations the experiments use:
+
+* ``smoke`` — tiny and fast, for CI sanity;
+* ``paper-default`` — the Figure-1 shape (r = 8 collectors per provider
+  slice) with the standard 2-honest/6-adversarial mix;
+* ``hostile-majority`` — most collectors invert labels;
+* ``sleeper-attack`` — reputation farming then defection;
+* ``forgery-storm`` — aggressive fabrication attempts;
+* ``carsharing-rush`` / ``insurance-fraud`` — the Section-5 domains'
+  protocol-level equivalents (diurnal load / directional whitewashing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.agents.behaviors import (
+    AlwaysInvertBehavior,
+    CollectorBehavior,
+    ConcealBehavior,
+    ForgeBehavior,
+    MisreportBehavior,
+    SleeperBehavior,
+)
+from repro.core.params import ProtocolParams
+from repro.core.protocol import ProtocolEngine
+from repro.exceptions import ConfigurationError
+from repro.network.topology import Topology
+from repro.workloads.generator import (
+    BernoulliWorkload,
+    BurstyWorkload,
+    PerProviderWorkload,
+    WorkloadGenerator,
+)
+
+__all__ = ["Scenario", "SCENARIOS", "scenario_names", "build_engine"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named experiment preset."""
+
+    name: str
+    description: str
+    l: int
+    n: int
+    m: int
+    r: int
+    params: ProtocolParams
+    rounds: int
+    batch: int
+    behavior_factory: Callable[[Topology], Mapping[str, CollectorBehavior]]
+    workload_factory: Callable[[Topology, int], WorkloadGenerator]
+    stake: Mapping[str, int] | None = None
+
+    def topology(self) -> Topology:
+        """The scenario's link structure."""
+        return Topology.regular(l=self.l, n=self.n, m=self.m, r=self.r)
+
+
+def _no_adversaries(_topo: Topology) -> dict:
+    return {}
+
+
+def _standard_mix(topo: Topology) -> dict:
+    c = topo.collectors
+    return {
+        c[2]: MisreportBehavior(0.4),
+        c[3]: ConcealBehavior(0.4),
+        c[4]: AlwaysInvertBehavior(),
+        c[5]: AlwaysInvertBehavior(),
+        c[6]: MisreportBehavior(0.8),
+        c[7]: ConcealBehavior(0.8),
+    }
+
+
+def _hostile_majority(topo: Topology) -> dict:
+    return {c: AlwaysInvertBehavior() for c in topo.collectors[2:]}
+
+
+def _sleepers(topo: Topology) -> dict:
+    return {c: SleeperBehavior(honest_prefix=200) for c in topo.collectors[2:]}
+
+
+def _forgers(topo: Topology) -> dict:
+    return {c: ForgeBehavior(0.5) for c in topo.collectors[: topo.n // 2]}
+
+
+def _whitewashers(topo: Topology) -> dict:
+    # Directional misreporting like the insurance commission bias: model
+    # with an aggressive misreporter population slice.
+    return {c: MisreportBehavior(0.7) for c in topo.collectors[:2]}
+
+
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in [
+        Scenario(
+            name="smoke",
+            description="tiny, fast sanity run",
+            l=4, n=4, m=3, r=2,
+            params=ProtocolParams(f=0.5),
+            rounds=3, batch=8,
+            behavior_factory=_no_adversaries,
+            workload_factory=lambda topo, seed: BernoulliWorkload(
+                topo.providers, p_valid=0.8, seed=seed
+            ),
+        ),
+        Scenario(
+            name="paper-default",
+            description="Figure-1 shape with the standard adversary mix",
+            l=16, n=8, m=4, r=4,
+            params=ProtocolParams(f=0.5, beta=0.9),
+            rounds=25, batch=32,
+            behavior_factory=_standard_mix,
+            workload_factory=lambda topo, seed: BernoulliWorkload(
+                topo.providers, p_valid=0.7, seed=seed
+            ),
+        ),
+        Scenario(
+            name="hostile-majority",
+            description="6 of 8 collectors always invert labels",
+            l=16, n=8, m=4, r=4,
+            params=ProtocolParams(f=0.7, beta=0.9),
+            rounds=25, batch=32,
+            behavior_factory=_hostile_majority,
+            workload_factory=lambda topo, seed: BernoulliWorkload(
+                topo.providers, p_valid=0.6, seed=seed
+            ),
+        ),
+        Scenario(
+            name="sleeper-attack",
+            description="reputation farming then coordinated defection",
+            l=16, n=8, m=4, r=4,
+            params=ProtocolParams(f=0.6, beta=0.9),
+            rounds=40, batch=24,
+            behavior_factory=_sleepers,
+            workload_factory=lambda topo, seed: BernoulliWorkload(
+                topo.providers, p_valid=0.7, seed=seed
+            ),
+        ),
+        Scenario(
+            name="forgery-storm",
+            description="half the collectors fabricate transactions",
+            l=16, n=8, m=4, r=4,
+            params=ProtocolParams(f=0.5, nu=8.0),
+            rounds=20, batch=24,
+            behavior_factory=_forgers,
+            workload_factory=lambda topo, seed: BernoulliWorkload(
+                topo.providers, p_valid=0.8, seed=seed
+            ),
+        ),
+        Scenario(
+            name="carsharing-rush",
+            description="bursty demand with regime-switching validity",
+            l=24, n=8, m=4, r=4,
+            params=ProtocolParams(f=0.6),
+            rounds=30, batch=24,
+            behavior_factory=_standard_mix,
+            workload_factory=lambda topo, seed: BurstyWorkload(
+                topo.providers, p_good=0.95, p_bad=0.3, stay=0.97, seed=seed
+            ),
+        ),
+        Scenario(
+            name="insurance-fraud",
+            description="heterogeneous applicants, whitewashing agents",
+            l=20, n=10, m=4, r=5,
+            params=ProtocolParams(f=0.5, mu=3.0),
+            rounds=30, batch=20,
+            behavior_factory=_whitewashers,
+            workload_factory=lambda topo, seed: PerProviderWorkload(
+                topo.providers, alpha=6.0, beta=2.0, seed=seed
+            ),
+        ),
+    ]
+}
+
+
+def scenario_names() -> list[str]:
+    """All registered scenario names."""
+    return sorted(SCENARIOS)
+
+
+def build_engine(
+    name: str, seed: int = 0
+) -> tuple[ProtocolEngine, WorkloadGenerator, Scenario]:
+    """Materialise a named scenario.
+
+    Returns:
+        (engine, workload, scenario); run it with
+        ``for _ in range(scenario.rounds): engine.run_round(workload.take(scenario.batch))``.
+
+    Raises:
+        ConfigurationError: unknown scenario name.
+    """
+    scenario = SCENARIOS.get(name)
+    if scenario is None:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: {scenario_names()}"
+        )
+    topo = scenario.topology()
+    engine = ProtocolEngine(
+        topo,
+        scenario.params,
+        behaviors=scenario.behavior_factory(topo),
+        seed=seed,
+        stake=dict(scenario.stake) if scenario.stake else None,
+    )
+    workload = scenario.workload_factory(topo, seed + 1)
+    return engine, workload, scenario

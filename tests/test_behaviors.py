@@ -1,0 +1,141 @@
+"""Unit tests for collector behaviour models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.behaviors import (
+    AlwaysInvertBehavior,
+    ConcealBehavior,
+    FlipFlopBehavior,
+    ForgeBehavior,
+    HonestBehavior,
+    MisreportBehavior,
+    MixedAdversary,
+    SleeperBehavior,
+    behavior_registry,
+)
+from repro.exceptions import ConfigurationError
+from repro.ledger.transaction import Label
+
+
+class TestHonest:
+    def test_truthful_labels(self, rng):
+        b = HonestBehavior()
+        assert b.label_for(True, rng) is Label.VALID
+        assert b.label_for(False, rng) is Label.INVALID
+
+    def test_never_forges(self, rng):
+        assert not any(HonestBehavior().should_forge(rng) for _ in range(100))
+
+
+class TestMisreport:
+    def test_rate_zero_is_honest(self, rng):
+        b = MisreportBehavior(0.0)
+        assert all(b.label_for(True, rng) is Label.VALID for _ in range(50))
+
+    def test_rate_one_always_flips(self, rng):
+        b = MisreportBehavior(1.0)
+        assert all(b.label_for(True, rng) is Label.INVALID for _ in range(50))
+
+    def test_intermediate_rate(self, rng):
+        b = MisreportBehavior(0.3)
+        flips = sum(b.label_for(True, rng) is Label.INVALID for _ in range(5000))
+        assert flips / 5000 == pytest.approx(0.3, abs=0.03)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MisreportBehavior(1.5)
+
+
+class TestConceal:
+    def test_rate_one_always_silent(self, rng):
+        b = ConcealBehavior(1.0)
+        assert all(b.label_for(True, rng) is None for _ in range(50))
+
+    def test_reports_truthfully_when_not_concealing(self, rng):
+        b = ConcealBehavior(0.0)
+        assert b.label_for(False, rng) is Label.INVALID
+
+    def test_intermediate_rate(self, rng):
+        b = ConcealBehavior(0.4)
+        silences = sum(b.label_for(True, rng) is None for _ in range(5000))
+        assert silences / 5000 == pytest.approx(0.4, abs=0.03)
+
+
+class TestForge:
+    def test_labels_honest(self, rng):
+        b = ForgeBehavior(0.5)
+        assert b.label_for(True, rng) is Label.VALID
+
+    def test_forge_rate(self, rng):
+        b = ForgeBehavior(0.25)
+        forges = sum(b.should_forge(rng) for _ in range(5000))
+        assert forges / 5000 == pytest.approx(0.25, abs=0.03)
+
+
+class TestMixedAdversary:
+    def test_all_zero_is_honest(self, rng):
+        b = MixedAdversary()
+        assert b.label_for(True, rng) is Label.VALID
+        assert not b.should_forge(rng)
+
+    def test_conceal_takes_priority(self, rng):
+        b = MixedAdversary(p_misreport=1.0, p_conceal=1.0)
+        assert all(b.label_for(True, rng) is None for _ in range(20))
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MixedAdversary(p_forge=-0.1)
+
+
+class TestFlipFlop:
+    def test_alternates_by_period(self, rng):
+        b = FlipFlopBehavior(period=3)
+        labels = [b.label_for(True, rng) for _ in range(9)]
+        assert labels[:3] == [Label.VALID] * 3
+        assert labels[3:6] == [Label.INVALID] * 3
+        assert labels[6:9] == [Label.VALID] * 3
+
+    def test_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            FlipFlopBehavior(period=0)
+
+
+class TestSleeper:
+    def test_honest_prefix(self, rng):
+        b = SleeperBehavior(honest_prefix=5, p_after=1.0)
+        labels = [b.label_for(True, rng) for _ in range(8)]
+        assert labels[:5] == [Label.VALID] * 5
+        assert labels[5:] == [Label.INVALID] * 3
+
+    def test_partial_defection(self, rng):
+        b = SleeperBehavior(honest_prefix=0, p_after=0.5)
+        flips = sum(b.label_for(True, rng) is Label.INVALID for _ in range(5000))
+        assert flips / 5000 == pytest.approx(0.5, abs=0.03)
+
+    def test_negative_prefix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SleeperBehavior(honest_prefix=-1)
+
+
+class TestInvert:
+    def test_always_opposite(self, rng):
+        b = AlwaysInvertBehavior()
+        assert b.label_for(True, rng) is Label.INVALID
+        assert b.label_for(False, rng) is Label.VALID
+
+
+class TestRegistry:
+    def test_registry_names(self):
+        reg = behavior_registry()
+        assert set(reg) == {
+            "honest", "misreport", "conceal", "forge",
+            "mixed", "flipflop", "sleeper", "invert",
+        }
+
+    def test_registry_instantiable(self, rng):
+        reg = behavior_registry()
+        assert reg["honest"]().label_for(True, rng) is Label.VALID
+        assert reg["misreport"](0.5) is not None

@@ -1,0 +1,127 @@
+"""Unit tests for atomic (total-order) broadcast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network.broadcast import AtomicBroadcast
+from repro.network.simnet import Simulator, SyncNetwork
+
+
+def build(members=("x", "y", "z"), max_delay=0.5, seed=3):
+    sim = Simulator(seed=0)
+    net = SyncNetwork(sim, min_delay=0.0, max_delay=max_delay, seed=seed)
+    ab = AtomicBroadcast(net)
+    ab.create_group("G", list(members))
+    delivered = {m: [] for m in members}
+    for m in members:
+        net.register(m, lambda msg, m=m: ab.on_message(m, msg))
+        ab.register_handler("G", m, lambda sender, body, m=m: delivered[m].append((sender, body)))
+    return sim, net, ab, delivered
+
+
+class TestGroups:
+    def test_duplicate_group_rejected(self):
+        sim = Simulator()
+        ab = AtomicBroadcast(SyncNetwork(sim))
+        ab.create_group("G", ["a"])
+        with pytest.raises(SimulationError):
+            ab.create_group("G", ["a"])
+
+    def test_duplicate_members_rejected(self):
+        sim = Simulator()
+        ab = AtomicBroadcast(SyncNetwork(sim))
+        with pytest.raises(SimulationError):
+            ab.create_group("G", ["a", "a"])
+
+    def test_unknown_group_broadcast_rejected(self):
+        sim = Simulator()
+        ab = AtomicBroadcast(SyncNetwork(sim))
+        with pytest.raises(SimulationError):
+            ab.broadcast("nope", "a", "x")
+
+    def test_members_of(self):
+        sim = Simulator()
+        ab = AtomicBroadcast(SyncNetwork(sim))
+        ab.create_group("G", ["a", "b"])
+        assert ab.members_of("G") == ["a", "b"]
+
+    def test_handler_for_non_member_rejected(self):
+        sim = Simulator()
+        ab = AtomicBroadcast(SyncNetwork(sim))
+        ab.create_group("G", ["a"])
+        with pytest.raises(SimulationError):
+            ab.register_handler("G", "z", lambda s, b: None)
+
+
+class TestTotalOrder:
+    def test_all_members_deliver_same_sequence(self):
+        sim, _net, ab, delivered = build()
+        # Interleave broadcasts from two senders with random delays.
+        for i in range(20):
+            sender = "x" if i % 2 == 0 else "y"
+            ab.broadcast("G", sender, f"m{i}")
+        sim.run()
+        assert delivered["x"] == delivered["y"] == delivered["z"]
+        assert len(delivered["x"]) == 20
+
+    def test_delivery_respects_sequence_numbers(self):
+        sim, _net, ab, delivered = build()
+        seqnos = [ab.broadcast("G", "x", f"m{i}") for i in range(5)]
+        assert seqnos == [0, 1, 2, 3, 4]
+        sim.run()
+        assert [body for _s, body in delivered["z"]] == [f"m{i}" for i in range(5)]
+
+    def test_out_of_order_arrival_buffered(self):
+        # Large delay spread: later-seqno messages can arrive first, yet
+        # delivery order must follow seqno.
+        sim, _net, ab, delivered = build(max_delay=2.0, seed=99)
+        for i in range(30):
+            ab.broadcast("G", "x", i)
+        sim.run()
+        assert [body for _s, body in delivered["y"]] == list(range(30))
+
+    def test_non_member_sender_allowed(self):
+        sim, _net, ab, delivered = build()
+        # Providers broadcast into collector groups without membership.
+        ab.network.register("outsider", lambda m: None)
+        ab.broadcast("G", "outsider", "hello")
+        sim.run()
+        assert delivered["x"] == [("outsider", "hello")]
+
+    def test_delivered_count(self):
+        sim, _net, ab, delivered = build()
+        for i in range(7):
+            ab.broadcast("G", "x", i)
+        sim.run()
+        assert ab.delivered_count("G", "y") == 7
+        assert ab.delivered_count("G", "nobody") == 0
+
+    def test_independent_groups_have_independent_orders(self):
+        sim = Simulator(seed=0)
+        net = SyncNetwork(sim, min_delay=0.0, max_delay=0.1, seed=5)
+        ab = AtomicBroadcast(net)
+        ab.create_group("G1", ["a"])
+        ab.create_group("G2", ["a"])
+        got = {"G1": [], "G2": []}
+        net.register("a", lambda msg: ab.on_message("a", msg))
+        ab.register_handler("G1", "a", lambda s, b: got["G1"].append(b))
+        ab.register_handler("G2", "a", lambda s, b: got["G2"].append(b))
+        ab.broadcast("G1", "s", 1)
+        ab.broadcast("G2", "s", 2)
+        ab.broadcast("G1", "s", 3)
+        sim.run()
+        assert got["G1"] == [1, 3]
+        assert got["G2"] == [2]
+
+    def test_non_broadcast_message_passes_through(self):
+        sim, net, ab, _delivered = build()
+        other = []
+        def route(msg):
+            if not ab.on_message("x", msg):
+                other.append(msg.payload)
+        net.register("x", route)
+        net.send("y", "x", "raw-payload")
+        sim.run()
+        assert other == ["raw-payload"]

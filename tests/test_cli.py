@@ -1,0 +1,80 @@
+"""Tests for the experiment CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import MIXES, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.governors == 4
+        assert args.f == 0.5
+
+    def test_regret_mix_choices(self):
+        args = build_parser().parse_args(["regret", "--mix", "hostile"])
+        assert args.mix == "hostile"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["regret", "--mix", "nonsense"])
+
+    def test_all_mixes_buildable(self):
+        for factory in MIXES.values():
+            behaviors = factory()
+            assert len(behaviors) == 8
+
+
+class TestCommands:
+    def test_run_small(self, capsys):
+        code = main([
+            "run", "--providers", "8", "--collectors", "4", "--governors", "3",
+            "--r", "2", "--rounds", "3", "--batch", "8", "--misreporters", "1",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "properties hold: True" in out
+        assert "chain height: 4" in out  # 3 rounds + the argue-flush round
+
+    def test_regret_small(self, capsys):
+        code = main(["regret", "--horizon", "200", "--mix", "mild", "--seeds", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Thm-1 RHS" in out
+        assert out.count("yes") >= 2
+
+    def test_sweep_f_small(self, capsys):
+        code = main(["sweep-f", "--rounds", "2", "--batch", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "validations/tx" in out
+
+    def test_baselines_small(self, capsys):
+        code = main(["baselines", "--mix", "hostile", "--horizon", "300"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reputation (paper)" in out
+        assert "majority" in out
+
+
+class TestScenarioCommand:
+    def test_scenario_smoke(self, capsys):
+        code = main(["scenario", "smoke"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "properties hold: True" in out
+
+    def test_scenario_rounds_override(self, capsys):
+        code = main(["scenario", "paper-default", "--rounds", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 rounds" in out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "does-not-exist"])

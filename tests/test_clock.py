@@ -1,0 +1,78 @@
+"""Unit tests for the global/local clock substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network.clock import GlobalClock, LocalClock
+
+
+class TestGlobalClock:
+    def test_starts_at_zero(self):
+        assert GlobalClock().now == 0.0
+
+    def test_advances(self):
+        clock = GlobalClock()
+        clock.advance_to(1.5)
+        assert clock.now == 1.5
+
+    def test_advance_to_same_time_ok(self):
+        clock = GlobalClock()
+        clock.advance_to(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_backwards_rejected(self):
+        clock = GlobalClock()
+        clock.advance_to(3.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(2.9)
+
+
+class TestLocalClock:
+    def test_perfect_clock_tracks_global(self):
+        g = GlobalClock()
+        local = LocalClock(global_clock=g)
+        g.advance_to(7.0)
+        assert local.now == 7.0
+
+    def test_offset_applied(self):
+        g = GlobalClock()
+        local = LocalClock(global_clock=g, offset=0.5)
+        g.advance_to(1.0)
+        assert local.now == pytest.approx(1.5)
+
+    def test_drift_applied(self):
+        g = GlobalClock()
+        local = LocalClock(global_clock=g, rate=1.01)
+        g.advance_to(100.0)
+        assert local.now == pytest.approx(101.0)
+
+    def test_rate_bound_enforced(self):
+        g = GlobalClock()
+        with pytest.raises(SimulationError):
+            LocalClock(global_clock=g, rate=1.5)
+
+    def test_offset_bound_enforced(self):
+        g = GlobalClock()
+        with pytest.raises(SimulationError):
+            LocalClock(global_clock=g, offset=5.0)
+
+    def test_custom_bounds_allow_larger_drift(self):
+        g = GlobalClock()
+        local = LocalClock(global_clock=g, rate=1.05, max_drift_rate=0.1)
+        g.advance_to(10.0)
+        assert local.now == pytest.approx(10.5)
+
+    def test_max_deviation_bound(self):
+        g = GlobalClock()
+        local = LocalClock(global_clock=g, offset=0.2, rate=1.01)
+        # |offset| + |rate-1| * horizon
+        assert local.max_deviation_at(100.0) == pytest.approx(0.2 + 1.0)
+
+    def test_deviation_bound_is_worst_case(self):
+        g = GlobalClock()
+        local = LocalClock(global_clock=g, offset=0.2, rate=1.01)
+        g.advance_to(50.0)
+        assert abs(local.now - g.now) <= local.max_deviation_at(100.0)

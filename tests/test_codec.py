@@ -1,0 +1,180 @@
+"""Tests for the JSON ledger codec (round-trip + tamper evidence)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.signatures import SigningKey
+from repro.exceptions import LedgerError
+from repro.ledger.block import Block
+from repro.ledger.chain import Ledger
+from repro.ledger.codec import (
+    decode_block,
+    decode_labeled,
+    decode_record,
+    decode_transaction,
+    dump_chain,
+    encode_block,
+    encode_labeled,
+    encode_record,
+    encode_transaction,
+    load_chain,
+)
+from repro.ledger.transaction import (
+    CheckStatus,
+    Label,
+    TxRecord,
+    make_labeled_transaction,
+    make_signed_transaction,
+)
+
+PROVIDER_KEY = SigningKey(owner="p0", secret=b"\x16" * 32)
+COLLECTOR_KEY = SigningKey(owner="c0", secret=b"\x17" * 32)
+_NONCE = iter(range(100_000))
+
+
+def make_tx(payload="x"):
+    return make_signed_transaction(PROVIDER_KEY, payload, 1.5, nonce=next(_NONCE))
+
+
+def make_chain(n=3) -> Ledger:
+    ledger = Ledger(owner="g0")
+    for serial in range(1, n + 1):
+        rec = TxRecord(
+            tx=make_tx({"k": serial}), label=Label.VALID, status=CheckStatus.CHECKED
+        )
+        ledger.append(
+            Block(
+                serial=serial, tx_list=(rec,), prev_hash=ledger.tip_hash(),
+                proposer="g0", round_number=serial,
+            )
+        )
+    return ledger
+
+
+class TestTransactionRoundTrip:
+    def test_roundtrip_preserves_identity(self):
+        tx = make_tx({"amount": 12, "note": "hello"})
+        back = decode_transaction(encode_transaction(tx))
+        assert back.tx_id == tx.tx_id
+        assert back.canonical_bytes() == tx.canonical_bytes()
+        assert back.provider_signature == tx.provider_signature
+
+    def test_json_serialisable(self):
+        text = json.dumps(encode_transaction(make_tx()))
+        assert decode_transaction(json.loads(text)).provider == "p0"
+
+    def test_missing_field_rejected(self):
+        obj = encode_transaction(make_tx())
+        del obj["timestamp"]
+        with pytest.raises(LedgerError):
+            decode_transaction(obj)
+
+    def test_malformed_signature_rejected(self):
+        obj = encode_transaction(make_tx())
+        obj["signature"]["tag"] = "zz-not-hex"
+        with pytest.raises(LedgerError):
+            decode_transaction(obj)
+
+
+class TestLabeledRoundTrip:
+    def test_roundtrip(self):
+        labeled = make_labeled_transaction(COLLECTOR_KEY, make_tx(), Label.INVALID)
+        back = decode_labeled(encode_labeled(labeled))
+        assert back.canonical_bytes() == labeled.canonical_bytes()
+        assert back.label is Label.INVALID
+
+    def test_bad_label_rejected(self):
+        obj = encode_labeled(
+            make_labeled_transaction(COLLECTOR_KEY, make_tx(), Label.VALID)
+        )
+        obj["label"] = 7
+        with pytest.raises(LedgerError):
+            decode_labeled(obj)
+
+
+class TestRecordAndBlock:
+    def test_record_roundtrip_all_statuses(self):
+        for status in CheckStatus:
+            rec = TxRecord(tx=make_tx(), label=Label.INVALID, status=status)
+            back = decode_record(encode_record(rec))
+            assert back.status is status
+            assert back.canonical_bytes() == rec.canonical_bytes()
+
+    def test_block_roundtrip_preserves_hash(self):
+        ledger = make_chain(1)
+        block = ledger.retrieve(1)
+        back = decode_block(encode_block(block))
+        assert back.hash() == block.hash()
+        assert back.tx_root == block.tx_root
+
+    def test_tampered_block_detected(self):
+        block = make_chain(1).retrieve(1)
+        obj = encode_block(block)
+        obj["proposer"] = "gX"  # payload edit, stale recorded hash
+        with pytest.raises(LedgerError):
+            decode_block(obj)
+
+
+class TestChainFiles:
+    def test_dump_load_roundtrip(self):
+        ledger = make_chain(4)
+        text = dump_chain(ledger)
+        loaded = load_chain(text)
+        assert loaded.height == 4
+        assert loaded.retrieve(4).hash() == ledger.retrieve(4).hash()
+        loaded.verify_integrity()
+
+    def test_dump_to_file_object(self, tmp_path):
+        ledger = make_chain(2)
+        path = tmp_path / "chain.json"
+        with open(path, "w") as fp:
+            dump_chain(ledger, fp)
+        loaded = load_chain(path.read_text())
+        assert loaded.height == 2
+
+    def test_tampered_file_rejected(self):
+        ledger = make_chain(3)
+        doc = json.loads(dump_chain(ledger))
+        # Replace block 2's payload and refresh its recorded hash so only
+        # the *chain link* can catch it.
+        doc["blocks"][1]["tx_list"][0]["tx"]["payload"] = {"k": 999}
+        tampered_block = decode_block({**doc["blocks"][1], "hash": None})
+        doc["blocks"][1]["hash"] = tampered_block.hash().hex()
+        with pytest.raises(Exception):  # ChainIntegrityError
+            load_chain(json.dumps(doc))
+
+    def test_wrong_format_version(self):
+        with pytest.raises(LedgerError):
+            load_chain(json.dumps({"format": 99, "blocks": []}))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(LedgerError):
+            load_chain("this is not json")
+
+    def test_height_mismatch_rejected(self):
+        ledger = make_chain(2)
+        doc = json.loads(dump_chain(ledger))
+        doc["height"] = 5
+        with pytest.raises(LedgerError):
+            load_chain(json.dumps(doc))
+
+
+_payloads = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.text(max_size=8),
+    lambda kids: st.lists(kids, max_size=3)
+    | st.dictionaries(st.text(max_size=5), kids, max_size=3),
+    max_leaves=8,
+)
+
+
+@given(_payloads)
+def test_property_payload_roundtrip_preserves_tx_id(payload):
+    """Any JSON-typed payload round-trips with its tx id (hash) intact."""
+    tx = make_signed_transaction(PROVIDER_KEY, payload, 2.0, nonce=1)
+    back = decode_transaction(json.loads(json.dumps(encode_transaction(tx))))
+    assert back.tx_id == tx.tx_id

@@ -1,0 +1,90 @@
+"""Unit tests for the deterministic event queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network.events import EventQueue
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(2.0, lambda: fired.append("b"))
+        q.schedule(1.0, lambda: fired.append("a"))
+        q.schedule(3.0, lambda: fired.append("c"))
+        while q:
+            q.pop().callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        q = EventQueue()
+        fired = []
+        for name in "abcde":
+            q.schedule(1.0, lambda n=name: fired.append(n))
+        while q:
+            q.pop().callback()
+        assert fired == list("abcde")
+
+    def test_len_tracks_live_events(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        assert len(q) == 2
+        q.pop()
+        assert len(q) == 1
+
+    def test_negative_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule(-1.0, lambda: None)
+
+    def test_nan_and_inf_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule(float("nan"), lambda: None)
+        with pytest.raises(SimulationError):
+            q.schedule(float("inf"), lambda: None)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        fired = []
+        ev = q.schedule(1.0, lambda: fired.append("x"))
+        q.schedule(2.0, lambda: fired.append("y"))
+        q.cancel(ev)
+        while q:
+            q.pop().callback()
+        assert fired == ["y"]
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.cancel(ev)
+        q.cancel(ev)
+        assert len(q) == 0
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(5.0, lambda: None)
+        q.cancel(ev)
+        assert q.peek_time() == 5.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_bool_reflects_liveness(self):
+        q = EventQueue()
+        assert not q
+        ev = q.schedule(1.0, lambda: None)
+        assert q
+        q.cancel(ev)
+        assert not q

@@ -1,0 +1,101 @@
+"""Golden-value regression tests.
+
+Every stochastic component is seeded, so whole runs are bit-for-bit
+reproducible — which means we can pin exact outputs and catch *any*
+unintended behavioural change (a reordered RNG draw, a changed hash
+input, an off-by-one in an update rule) that the invariant-style tests
+might tolerate.
+
+If a change legitimately alters the protocol's draw sequence (e.g. a new
+feature consuming randomness), these constants must be re-derived and
+the change justified in the commit that updates them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.behaviors import (
+    AlwaysInvertBehavior,
+    ConcealBehavior,
+    HonestBehavior,
+    MisreportBehavior,
+)
+from repro.core import ProtocolEngine, ProtocolParams
+from repro.core.game import ReputationGame
+from repro.crypto.hashing import hash_value
+from repro.crypto.signatures import SigningKey, sign
+from repro.crypto.vrf import vrf_evaluate
+from repro.network import Topology
+from repro.workloads import BernoulliWorkload
+
+# -- protocol-run goldens ----------------------------------------------------
+
+GOLDEN_BLOCK_HASHES = [
+    "52916a6829d77e0cbdaece472c9b85c90a057d719ae33162bf5d6495d8c50e70",
+    "4ab1f4ec28c5447c042ae79bcd700e721877ed81f06eed2f2256ade2746da97e",
+    "1dde647af721f649614d07e6d4753e6209e8e2ebc5f3366c009b86f19db143e0",
+]
+
+
+def test_golden_protocol_block_hashes():
+    """Three rounds of a fixed configuration produce pinned block hashes."""
+    topo = Topology.regular(l=8, n=4, m=3, r=2)
+    engine = ProtocolEngine(
+        topo,
+        ProtocolParams(f=0.5),
+        behaviors={"c0": MisreportBehavior(0.4)},
+        seed=1234,
+    )
+    workload = BernoulliWorkload(topo.providers, p_valid=0.8, seed=5678)
+    hashes = [engine.run_round(workload.take(8)).block.hash().hex() for _ in range(3)]
+    assert hashes == GOLDEN_BLOCK_HASHES
+
+
+# -- reputation-game goldens ---------------------------------------------------
+
+def test_golden_game_losses_and_weights():
+    """A fixed game run reproduces its exact losses and final weights."""
+    game = ReputationGame(
+        [
+            HonestBehavior(),
+            MisreportBehavior(0.5),
+            ConcealBehavior(0.5),
+            AlwaysInvertBehavior(),
+        ],
+        horizon=200,
+        seed=99,
+        track_curves=False,
+    )
+    result = game.run()
+    assert result.expected_loss == pytest.approx(3.4905536614907997, rel=1e-12)
+    assert result.realized_loss == 2.0
+    assert result.final_weights["c0"] == 1.0
+    assert result.final_weights["c1"] == pytest.approx(3.861414422033345e-28, rel=1e-9)
+    assert result.final_weights["c2"] == pytest.approx(3.8896904024495416e-21, rel=1e-9)
+    assert result.final_weights["c3"] == pytest.approx(1.7711179113991065e-64, rel=1e-9)
+
+
+# -- crypto goldens --------------------------------------------------------------
+
+def test_golden_canonical_hash():
+    """The canonical encoding is part of the wire/storage format: pin it."""
+    digest = hash_value(("tx", {"a": 1, "b": [True, None, "x"]}, 3.5)).hex()
+    assert digest == hash_value(("tx", {"b": [True, None, "x"], "a": 1}, 3.5)).hex()
+    # This constant *is* the storage format; a change breaks old chains.
+    assert digest == (
+        "772cfff325c6e5e3e6a8a4fbee8b2994f631f306d26c2e6295bf19c447968357"
+    )
+
+
+def test_golden_signature_and_vrf_determinism():
+    """Fixed key + fixed input -> fixed tag and VRF value, stable across
+    runs and platforms (pure HMAC-SHA256)."""
+    key = SigningKey(owner="gold", secret=b"\x42" * 32)
+    tag1 = sign(key, ("msg", 7)).tag
+    tag2 = sign(key, ("msg", 7)).tag
+    assert tag1 == tag2
+    out1 = vrf_evaluate(key, 3, 1, 2)
+    out2 = vrf_evaluate(key, 3, 1, 2)
+    assert out1.value == out2.value
+    assert out1.as_int() == int.from_bytes(out1.value, "big")

@@ -1,0 +1,203 @@
+"""Tests for the reputation-gossip extension."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.gossip import ReputationGossip, ReputationSummary, make_summary
+from repro.core.reputation import ReputationBook
+from repro.crypto.identity import IdentityManager, Role
+from repro.crypto.signatures import Signature
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def gossip_world():
+    im = IdentityManager(seed=9)
+    books = {}
+    for j in range(3):
+        gid = f"g{j}"
+        im.enroll(gid, Role.GOVERNOR)
+        book = ReputationBook(governor=gid, initial=1.0)
+        book.register_collector("c0", ["p0"])
+        book.register_collector("c1", ["p0"])
+        books[gid] = book
+    return im, books
+
+
+def summary_for(im, books, gid):
+    return make_summary(im.record(gid).key, books[gid])
+
+
+class TestSummaries:
+    def test_summary_signed_and_verifiable(self, gossip_world):
+        im, books = gossip_world
+        summary = summary_for(im, books, "g0")
+        assert im.verify("g0", summary.signed_message(), summary.signature)
+
+    def test_summary_contains_all_entries(self, gossip_world):
+        im, books = gossip_world
+        summary = summary_for(im, books, "g0")
+        assert set(summary.entries) == {("c0", "p0"), ("c1", "p0")}
+
+
+class TestFold:
+    def test_alpha_bounds(self, gossip_world):
+        im, _books = gossip_world
+        with pytest.raises(ConfigurationError):
+            ReputationGossip(im=im, alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            ReputationGossip(im=im, alpha=1.0)
+
+    def test_geometric_mean_fold(self, gossip_world):
+        im, books = gossip_world
+        books["g1"].vector("c0").provider_weights["p0"] = 0.25
+        books["g2"].vector("c0").provider_weights["p0"] = 0.25
+        gossip = ReputationGossip(im=im, alpha=0.5)
+        accepted = gossip.fold(
+            books["g0"],
+            [summary_for(im, books, "g1"), summary_for(im, books, "g2")],
+        )
+        assert accepted == 2
+        # own = 1.0, peers' geomean = 0.25, alpha = 0.5 -> sqrt(0.25) = 0.5
+        assert books["g0"].weight("c0", "p0") == pytest.approx(0.5)
+
+    def test_identical_views_are_fixed_point(self, gossip_world):
+        im, books = gossip_world
+        for gid in books:
+            books[gid].vector("c0").provider_weights["p0"] = 0.7
+        gossip = ReputationGossip(im=im, alpha=0.3)
+        gossip.fold(
+            books["g0"],
+            [summary_for(im, books, "g1"), summary_for(im, books, "g2")],
+        )
+        assert books["g0"].weight("c0", "p0") == pytest.approx(0.7)
+
+    def test_self_summary_ignored(self, gossip_world):
+        im, books = gossip_world
+        books["g0"].vector("c0").provider_weights["p0"] = 0.5
+        gossip = ReputationGossip(im=im, alpha=0.5)
+        accepted = gossip.fold(books["g0"], [summary_for(im, books, "g0")])
+        assert accepted == 0
+        assert books["g0"].weight("c0", "p0") == pytest.approx(0.5)
+
+    def test_forged_summary_rejected(self, gossip_world):
+        im, books = gossip_world
+        books["g1"].vector("c0").provider_weights["p0"] = 1e-6
+        honest = summary_for(im, books, "g1")
+        forged = ReputationSummary(
+            governor="g1",
+            entries={("c0", "p0"): 1e-12},  # tampered after signing
+            signature=honest.signature,
+        )
+        gossip = ReputationGossip(im=im, alpha=0.5)
+        accepted = gossip.fold(books["g0"], [forged])
+        assert accepted == 0
+        assert gossip.rejected == 1
+        assert books["g0"].weight("c0", "p0") == 1.0
+
+    def test_non_governor_cannot_inject(self, gossip_world):
+        im, books = gossip_world
+        fake = ReputationSummary(
+            governor="intruder",
+            entries={("c0", "p0"): 1e-12},
+            signature=Signature(signer="intruder", tag=bytes(32)),
+        )
+        gossip = ReputationGossip(im=im, alpha=0.5)
+        assert gossip.fold(books["g0"], [fake]) == 0
+
+    def test_fold_commutes_with_multiplicative_update(self, gossip_world):
+        """Gossip-then-discount equals discount-then-gossip (both views
+        discounted) — the property that justifies the geometric mean."""
+        im, books = gossip_world
+        gamma = 0.855
+
+        # Path A: fold first, then discount own view.
+        books_a0 = books["g0"]
+        gossip = ReputationGossip(im=im, alpha=0.5)
+        books["g1"].vector("c0").provider_weights["p0"] = 0.4
+        gossip.fold(books_a0, [summary_for(im, books, "g1")])
+        books_a0.vector("c0").scale("p0", gamma)
+        path_a = books_a0.weight("c0", "p0")
+
+        # Path B: both views discounted first, then fold.
+        own = ReputationBook(governor="g0", initial=1.0)
+        own.register_collector("c0", ["p0"])
+        own.register_collector("c1", ["p0"])
+        own.vector("c0").scale("p0", gamma)
+        peer = ReputationBook(governor="g1", initial=1.0)
+        peer.register_collector("c0", ["p0"])
+        peer.register_collector("c1", ["p0"])
+        peer.vector("c0").provider_weights["p0"] = 0.4
+        peer.vector("c0").scale("p0", gamma)
+        gossip_b = ReputationGossip(im=im, alpha=0.5)
+        gossip_b.fold(own, [make_summary(im.record("g1").key, peer)])
+        path_b = own.weight("c0", "p0")
+
+        assert path_a == pytest.approx(path_b)
+
+    def test_convergence_under_repeated_gossip(self, gossip_world):
+        """Repeated all-to-all gossip drives divergent views together."""
+        im, books = gossip_world
+        books["g0"].vector("c0").provider_weights["p0"] = 1.0
+        books["g1"].vector("c0").provider_weights["p0"] = 0.01
+        books["g2"].vector("c0").provider_weights["p0"] = 0.1
+        gossip = ReputationGossip(im=im, alpha=0.4)
+        for _round in range(20):
+            summaries = {g: summary_for(im, books, g) for g in books}
+            for gid, book in books.items():
+                gossip.fold(book, [s for g, s in summaries.items() if g != gid])
+        weights = [books[g].weight("c0", "p0") for g in books]
+        spread = max(math.log(w) for w in weights) - min(math.log(w) for w in weights)
+        assert spread < 0.01
+
+
+class TestGossipWithEngine:
+    def test_periodic_gossip_across_engine_governors(self):
+        """Fold summaries across a live engine's governors every few
+        rounds: views of the misreporter converge across governors while
+        honest collectors keep weight 1 everywhere."""
+        import math
+
+        from repro.agents.behaviors import MisreportBehavior
+        from repro.core.gossip import make_summary
+        from repro.core.params import ProtocolParams
+        from repro.core.protocol import ProtocolEngine
+        from repro.network.topology import Topology
+        from repro.workloads.generator import BernoulliWorkload
+
+        topo = Topology.regular(l=8, n=4, m=3, r=2)
+        engine = ProtocolEngine(
+            topo, ProtocolParams(f=0.8),
+            behaviors={"c0": MisreportBehavior(0.7)},
+            seed=14, leader_rotation=True,
+        )
+        workload = BernoulliWorkload(topo.providers, p_valid=0.6, seed=15)
+        gossip = ReputationGossip(im=engine.im, alpha=0.3)
+        for round_no in range(20):
+            engine.run_round(workload.take(16))
+            if round_no % 5 == 4:
+                summaries = [
+                    make_summary(engine.im.record(g).key, gov.book)
+                    for g, gov in engine.governors.items()
+                ]
+                for gov in engine.governors.values():
+                    gossip.fold(gov.book, summaries)
+        engine.finalize()
+
+        provider = topo.providers_of("c0")[0]
+        liar_views = [
+            gov.book.weight("c0", provider) for gov in engine.governors.values()
+        ]
+        honest_views = [
+            gov.book.weight("c2", topo.providers_of("c2")[0])
+            for gov in engine.governors.values()
+        ]
+        # Honest collectors untouched; liar demoted in every view, and
+        # the (log) spread across governors is small after gossip.
+        assert all(w == pytest.approx(1.0) for w in honest_views)
+        assert all(w < 1.0 for w in liar_views)
+        logs = [math.log(w) for w in liar_views]
+        assert max(logs) - min(logs) < abs(sum(logs) / len(logs)) * 0.8 + 0.5

@@ -1,0 +1,125 @@
+"""Unit tests for the Identity Manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.identity import IdentityManager, Role
+from repro.crypto.signatures import Signature
+from repro.exceptions import UnknownIdentityError
+
+
+class TestEnrolment:
+    def test_enroll_returns_key_for_owner(self):
+        im = IdentityManager(seed=0)
+        key = im.enroll("p0", Role.PROVIDER)
+        assert key.owner == "p0"
+
+    def test_duplicate_enrolment_rejected(self):
+        im = IdentityManager(seed=0)
+        im.enroll("p0", Role.PROVIDER)
+        with pytest.raises(UnknownIdentityError):
+            im.enroll("p0", Role.COLLECTOR)
+
+    def test_distinct_secrets_per_node(self):
+        im = IdentityManager(seed=0)
+        k1 = im.enroll("a", Role.PROVIDER)
+        k2 = im.enroll("b", Role.PROVIDER)
+        assert k1.secret != k2.secret
+
+    def test_deterministic_in_seed(self):
+        k1 = IdentityManager(seed=5).enroll("a", Role.PROVIDER)
+        k2 = IdentityManager(seed=5).enroll("a", Role.PROVIDER)
+        assert k1.secret == k2.secret
+
+    def test_role_and_record(self):
+        im = IdentityManager(seed=0)
+        im.enroll("g0", Role.GOVERNOR)
+        assert im.role_of("g0") is Role.GOVERNOR
+        assert im.record("g0").node_id == "g0"
+
+    def test_unknown_record_raises(self):
+        with pytest.raises(UnknownIdentityError):
+            IdentityManager(seed=0).record("ghost")
+
+    def test_members_filter_by_role(self, im):
+        collectors = set(im.members(Role.COLLECTOR))
+        assert collectors == {"c0", "c1", "c2", "c3"}
+        assert set(im.members()) >= collectors
+
+    def test_is_enrolled(self, im):
+        assert im.is_enrolled("p0")
+        assert not im.is_enrolled("nobody")
+
+
+class TestLinks:
+    def test_register_and_query(self, im):
+        assert im.is_linked("c0", "p0")
+        assert "p1" in im.links_of("c0")
+
+    def test_unlinked_pair(self, im):
+        im2 = IdentityManager(seed=9)
+        im2.enroll("cX", Role.COLLECTOR)
+        im2.enroll("pX", Role.PROVIDER)
+        assert not im2.is_linked("cX", "pX")
+
+    def test_link_requires_enrolment(self):
+        im = IdentityManager(seed=0)
+        im.enroll("c0", Role.COLLECTOR)
+        with pytest.raises(UnknownIdentityError):
+            im.register_link("c0", "ghost-provider")
+
+
+class TestVerification:
+    def test_sign_and_verify(self, im):
+        sig = im.sign_as("p0", b"msg")
+        assert im.verify("p0", b"msg", sig)
+
+    def test_reject_unknown_sender(self, im):
+        sig = im.sign_as("p0", b"msg")
+        assert not im.verify("stranger", b"msg", sig)
+
+    def test_reject_cross_node_signature(self, im):
+        sig = im.sign_as("p0", b"msg")
+        assert not im.verify("p1", b"msg", sig)
+
+    def test_reject_tampered_message(self, im):
+        sig = im.sign_as("p0", b"msg")
+        assert not im.verify("p0", b"other", sig)
+
+    def test_collector_upload_verification_happy_path(self, im):
+        inner = ("payload",)
+        provider_sig = im.sign_as("p0", inner)
+        outer = ("upload", inner)
+        collector_sig = im.sign_as("c0", outer)
+        assert im.verify_collector_upload(
+            "c0", outer, collector_sig, "p0", provider_sig, inner
+        )
+
+    def test_collector_upload_rejects_unlinked_provider(self, im):
+        im2 = IdentityManager(seed=3)
+        im2.enroll("c9", Role.COLLECTOR)
+        im2.enroll("p9", Role.PROVIDER)
+        inner = ("payload",)
+        provider_sig = im2.sign_as("p9", inner)
+        outer = ("upload", inner)
+        collector_sig = im2.sign_as("c9", outer)
+        # No register_link call: must fail on the link check.
+        assert not im2.verify_collector_upload(
+            "c9", outer, collector_sig, "p9", provider_sig, inner
+        )
+
+    def test_collector_upload_rejects_forged_provider_sig(self, im):
+        inner = ("payload",)
+        fake = im.sign_as("c0", inner)  # collector pretends to be provider
+        forged = Signature(signer="p0", tag=fake.tag)
+        outer = ("upload", inner)
+        collector_sig = im.sign_as("c0", outer)
+        assert not im.verify_collector_upload(
+            "c0", outer, collector_sig, "p0", forged, inner
+        )
+
+    def test_export_directory_has_no_secrets(self, im):
+        directory = im.export_directory()
+        assert directory["p0"] == "provider"
+        assert all(isinstance(v, str) for v in directory.values())

@@ -1,0 +1,157 @@
+"""Integration tests for the packet-level networked protocol engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.behaviors import AlwaysInvertBehavior, ForgeBehavior, MisreportBehavior
+from repro.core.netengine import NetworkedProtocolEngine
+from repro.core.params import ProtocolParams
+from repro.core.protocol import ProtocolEngine
+from repro.exceptions import ConfigurationError
+from repro.ledger.chain import check_agreement
+from repro.ledger.properties import check_all_properties
+from repro.ledger.transaction import CheckStatus, Label
+from repro.network.topology import Topology
+from repro.workloads.generator import BernoulliWorkload
+
+
+def make_engine(f=0.5, behaviors=None, seed=0, delta=0.2, max_delay=0.05):
+    topo = Topology.regular(l=8, n=4, m=3, r=2)
+    params = ProtocolParams(f=f, delta=delta)
+    engine = NetworkedProtocolEngine(
+        topo, params, behaviors=behaviors, seed=seed, max_delay=max_delay
+    )
+    return engine, topo
+
+
+class TestConstruction:
+    def test_delta_must_cover_spread(self):
+        topo = Topology.regular(l=8, n=4, m=3, r=2)
+        with pytest.raises(ConfigurationError):
+            NetworkedProtocolEngine(
+                topo, ProtocolParams(delta=0.01), max_delay=0.05
+            )
+
+    def test_unknown_behavior_rejected(self):
+        topo = Topology.regular(l=8, n=4, m=3, r=2)
+        with pytest.raises(ConfigurationError):
+            NetworkedProtocolEngine(
+                topo, ProtocolParams(delta=0.2),
+                behaviors={"zz": MisreportBehavior(0.1)},
+            )
+
+
+class TestRounds:
+    def test_blocks_flow_to_all_governors(self):
+        engine, topo = make_engine()
+        workload = BernoulliWorkload(topo.providers, p_valid=0.8, seed=1)
+        for _ in range(4):
+            engine.run_round(workload.take(8))
+        assert engine.store.height == 4
+        for gov in engine.governors.values():
+            assert gov.ledger.height == 4
+        check_agreement(engine.ledgers())
+
+    def test_every_offered_valid_tx_lands(self):
+        engine, topo = make_engine(f=0.3)
+        workload = BernoulliWorkload(topo.providers, p_valid=1.0, seed=2)
+        result = engine.run_round(workload.take(8))
+        # All-honest collectors + all-valid txs: all 8 in the block.
+        assert len(result.block) == 8
+        assert all(rec.label is Label.VALID for rec in result.block.tx_list)
+
+    def test_five_properties_hold(self):
+        behaviors = {"c0": MisreportBehavior(0.5), "c1": ForgeBehavior(0.3)}
+        engine, topo = make_engine(behaviors=behaviors, seed=4)
+        workload = BernoulliWorkload(topo.providers, p_valid=0.8, seed=5)
+        for _ in range(8):
+            engine.run_round(workload.take(8))
+        engine.run_round([])  # flush argues
+        engine.finalize()
+        report = check_all_properties(engine.ledgers(), engine.transcript)
+        assert report.all_hold, report.violations
+
+    def test_deterministic(self):
+        def run(seed):
+            engine, topo = make_engine(seed=seed)
+            workload = BernoulliWorkload(topo.providers, p_valid=0.8, seed=9)
+            hashes = []
+            for _ in range(3):
+                hashes.append(engine.run_round(workload.take(8)).block.hash())
+            return hashes
+
+        assert run(3) == run(3)
+
+    def test_argue_roundtrip_over_network(self):
+        behaviors = {f"c{i}": AlwaysInvertBehavior() for i in range(2)}
+        engine, topo = make_engine(f=0.9, behaviors=behaviors, seed=6)
+        workload = BernoulliWorkload(topo.providers, p_valid=1.0, seed=7)
+        total_argues = 0
+        reevaluated = []
+        for _ in range(12):
+            result = engine.run_round(workload.take(8))
+            total_argues += result.argues_sent
+            reevaluated.extend(
+                rec for rec in result.block.tx_list
+                if rec.status is CheckStatus.REEVALUATED
+            )
+        assert total_argues > 0
+        assert reevaluated
+        assert all(rec.label is Label.VALID for rec in reevaluated)
+
+    def test_forgeries_caught_over_network(self):
+        engine, topo = make_engine(behaviors={"c0": ForgeBehavior(1.0)}, seed=8)
+        workload = BernoulliWorkload(topo.providers, p_valid=0.8, seed=9)
+        for _ in range(3):
+            engine.run_round(workload.take(8))
+        for gov in engine.governors.values():
+            assert gov.metrics.forgeries_caught == 3
+            assert gov.book.vector("c0").forge == -3
+
+
+class TestCrossEngineConsistency:
+    def test_packet_and_analytic_engines_agree_on_outcomes(self):
+        """Same topology/workload/behaviours: both engines catch the same
+        misreporter and record comparable unchecked rates."""
+        topo = Topology.regular(l=8, n=4, m=3, r=2)
+        behaviors = {"c0": MisreportBehavior(0.6)}
+        params = ProtocolParams(f=0.6, delta=0.2)
+
+        net = NetworkedProtocolEngine(topo, params, behaviors=dict(behaviors), seed=11)
+        wl1 = BernoulliWorkload(topo.providers, p_valid=0.7, seed=12)
+        for _ in range(15):
+            net.run_round(wl1.take(8))
+        net.finalize()
+
+        direct = ProtocolEngine(topo, params, behaviors=dict(behaviors), seed=11)
+        wl2 = BernoulliWorkload(topo.providers, p_valid=0.7, seed=12)
+        for _ in range(15):
+            direct.run_round(wl2.take(8))
+        direct.finalize()
+
+        for engine in (net, direct):
+            gov = engine.governors["g0"]
+            honest_w = gov.book.weight("c1", topo.providers_of("c1")[0])
+            liar_providers = topo.providers_of("c0")
+            liar_w = min(gov.book.weight("c0", p) for p in liar_providers)
+            # The misreporter's worst weight is below the honest baseline
+            # in both engines (they see different RNG streams, so exact
+            # values differ; the qualitative outcome must not).
+            assert liar_w <= honest_w
+
+    def test_real_message_counts_scale_with_m(self):
+        def messages(m):
+            topo = Topology.regular(l=8, n=4, m=m, r=2)
+            engine = NetworkedProtocolEngine(
+                topo, ProtocolParams(f=0.5, delta=0.2), seed=13
+            )
+            wl = BernoulliWorkload(topo.providers, p_valid=0.8, seed=14)
+            engine.run_round(wl.take(8))
+            return engine.network.stats.messages_sent
+
+        m3, m6 = messages(3), messages(6)
+        assert m6 > m3
+        # Upload fan-out doubles with m; total grows but is sub-quadratic
+        # for the ordinary-block path.
+        assert m6 < 4 * m3

@@ -1,0 +1,98 @@
+"""Unit tests for the PBFT baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.pbft import PBFTCluster, pbft_quorum
+from repro.crypto.identity import IdentityManager, Role
+from repro.exceptions import ConsensusError
+
+
+def make_cluster(m=4, seed=6):
+    im = IdentityManager(seed=seed)
+    ids = [f"r{i}" for i in range(m)]
+    for rid in ids:
+        im.enroll(rid, Role.GOVERNOR)
+    return PBFTCluster(im=im, replica_ids=ids)
+
+
+class TestQuorum:
+    def test_quorum_values(self):
+        assert pbft_quorum(4) == 3
+        assert pbft_quorum(7) == 5
+        assert pbft_quorum(10) == 7
+        assert pbft_quorum(13) == 9
+
+    def test_too_few_replicas(self):
+        with pytest.raises(ConsensusError):
+            pbft_quorum(3)
+        with pytest.raises(ConsensusError):
+            make_cluster(m=3)
+
+
+class TestNormalCase:
+    def test_decides_payload(self):
+        cluster = make_cluster()
+        decided = cluster.run({"block": 1})
+        assert decided == {"block": 1}
+
+    def test_all_honest_replicas_decide_same(self):
+        cluster = make_cluster(m=7)
+        cluster.run(("payload",))
+        digests = {r.decided_digest for r in cluster.replicas.values()}
+        assert len(digests) == 1
+
+    def test_message_count_quadratic_shape(self):
+        counts = {}
+        for m in (4, 7, 10, 13):
+            cluster = make_cluster(m=m)
+            cluster.run("p")
+            counts[m] = cluster.messages_exchanged
+        # Ratio of counts should grow superlinearly with m.
+        ratio_low = counts[7] / counts[4]
+        ratio_high = counts[13] / counts[7]
+        assert counts[13] > counts[10] > counts[7] > counts[4]
+        assert ratio_low > 7 / 4  # superlinear
+        assert ratio_high > 13 / 7
+
+    def test_fresh_instance_per_run(self):
+        cluster = make_cluster()
+        cluster.run("a")
+        # Cluster state machines are single-instance; a new cluster is
+        # needed for a second decision.
+        cluster2 = make_cluster()
+        assert cluster2.run("b") == "b"
+
+
+class TestFaults:
+    def test_tolerates_f_silent_replicas(self):
+        cluster = make_cluster(m=7)  # f = 2
+        cluster.mark_byzantine("r5")
+        cluster.mark_byzantine("r6")
+        assert cluster.run("payload") == "payload"
+
+    def test_too_many_faults_fails(self):
+        cluster = make_cluster(m=4)  # f = 1
+        cluster.mark_byzantine("r2")
+        cluster.mark_byzantine("r3")
+        with pytest.raises(ConsensusError):
+            cluster.run("payload")
+
+    def test_silent_primary_triggers_view_change(self):
+        cluster = make_cluster(m=7)
+        cluster.mark_byzantine("r0")  # primary of view 0
+        assert cluster.run("payload") == "payload"
+        # View change costs extra all-to-all traffic.
+        honest = make_cluster(m=7)
+        honest.run("payload")
+        assert cluster.messages_exchanged > honest.messages_exchanged
+
+    def test_unknown_byzantine_id_rejected(self):
+        cluster = make_cluster()
+        with pytest.raises(Exception):
+            cluster.mark_byzantine("ghost")
+
+    def test_max_faulty(self):
+        assert make_cluster(m=4).max_faulty == 1
+        assert make_cluster(m=10).max_faulty == 3

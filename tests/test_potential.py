@@ -1,0 +1,118 @@
+"""Property tests for the potential-function argument behind Theorem 1.
+
+The proof rests on two numerical facts about one update step with
+weights ``W_0`` (correct), ``W_1`` (missed), ``W_2`` (wrong) and
+``L = 2 W_2 / (W_0 + W_2)``:
+
+  (i)  upper bound:  ``W' = W_0 + beta W_1 + gamma W_2
+                          <= (1 + (gamma - 1)/2 * L) * W``
+       where ``W = W_0 + W_1 + W_2`` — requires
+       ``gamma >= 2(beta-1)/L + 1``;
+  (ii) lower bound:  any single collector's weight after T steps is at
+       least ``beta ** (its accumulated loss)`` — requires
+       ``gamma >= beta**2`` (a wrong label costs loss 2, so per unit of
+       loss the discount is at least beta).
+
+These are exactly the inequalities the paper's gamma rule guarantees;
+hypothesis hammers them across the whole parameter space, plus the
+telescoped form over random histories.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import gamma_for
+
+_weights = st.floats(min_value=1e-6, max_value=1e6, allow_nan=False)
+_beta = st.floats(min_value=0.05, max_value=0.95)
+
+
+@given(_beta, _weights, _weights, _weights)
+def test_property_single_step_upper_bound(beta, w0, w1, w2):
+    """(i): one update step contracts the total weight as the proof needs."""
+    total = w0 + w1 + w2
+    loss = 2.0 * w2 / (w0 + w2) if (w0 + w2) > 0 else 0.0
+    gamma = gamma_for(beta, loss)
+    updated = w0 + beta * w1 + gamma * w2
+    bound = (1.0 + (gamma - 1.0) / 2.0 * loss) * total
+    assert updated <= bound * (1.0 + 1e-12)
+
+
+@given(_beta, _weights, _weights)
+def test_property_step_bound_tight_without_missers(beta, w0, w2):
+    """With W_1 = 0 the proof's inequality holds with equality."""
+    loss = 2.0 * w2 / (w0 + w2)
+    gamma = gamma_for(beta, loss)
+    updated = w0 + gamma * w2
+    bound = (1.0 + (gamma - 1.0) / 2.0 * loss) * (w0 + w2)
+    assert math.isclose(updated, bound, rel_tol=1e-9)
+
+
+@given(_beta, st.floats(min_value=1e-6, max_value=2.0))
+def test_property_per_loss_discount_at_least_beta(beta, loss):
+    """(ii): gamma >= beta^2, i.e. discount per unit of loss >= beta."""
+    gamma = gamma_for(beta, loss)
+    assert gamma >= beta * beta - 1e-12
+
+
+@given(
+    _beta,
+    st.lists(st.sampled_from(["correct", "wrong", "missed"]), min_size=1, max_size=60),
+    st.floats(min_value=0.0, max_value=2.0),
+)
+def test_property_weight_floor_over_history(beta, history, ambient_loss):
+    """Telescoped (ii): after any outcome history, a collector's weight is
+    at least beta ** (accumulated loss), where loss is 2 per wrong and 1
+    per miss — whatever L_t the rest of the population induced."""
+    weight = 1.0
+    accumulated_loss = 0.0
+    for outcome in history:
+        gamma = gamma_for(beta, ambient_loss)
+        if outcome == "wrong":
+            weight *= gamma
+            accumulated_loss += 2.0
+        elif outcome == "missed":
+            weight *= beta
+            accumulated_loss += 1.0
+    assert weight >= beta**accumulated_loss * (1.0 - 1e-9)
+
+
+@given(
+    _beta,
+    st.lists(
+        st.tuples(_weights, _weights, _weights), min_size=1, max_size=40
+    ),
+)
+@settings(max_examples=50)
+def test_property_telescoped_bound_implies_rwm_inequality(beta, steps):
+    """The telescoped product bound implies the proof's master inequality
+
+        sum_t L_t <= 2/(1-beta) * (log r - log W_T / W_0^...)
+
+    checked in its raw form: log(W_T / W_0) <= sum_t log(1 - (1-gamma_t)/2 L_t)
+    <= -(1-beta)/2 * sum_t L_t, hence
+    sum_t L_t <= 2/(1-beta) * log(W_0 / W_T).
+    """
+    total = None
+    sum_loss = 0.0
+    w_start = None
+    for w0, w1, w2 in steps:
+        if total is None:
+            w_start = w0 + w1 + w2
+            total = w_start
+        else:
+            # Re-split the current total mass in the drawn proportions.
+            scale = total / (w0 + w1 + w2)
+            w0, w1, w2 = w0 * scale, w1 * scale, w2 * scale
+        loss = 2.0 * w2 / (w0 + w2) if (w0 + w2) > 0 else 0.0
+        gamma = gamma_for(beta, loss)
+        total = w0 + beta * w1 + gamma * w2
+        sum_loss += loss
+    assert total is not None and w_start is not None
+    lhs = sum_loss
+    rhs = 2.0 / (1.0 - beta) * math.log(w_start / total) + 1e-6
+    assert lhs <= rhs or math.isclose(lhs, rhs, rel_tol=1e-6)

@@ -1,0 +1,131 @@
+"""Unit tests for the five-property run checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.signatures import SigningKey
+from repro.exceptions import LedgerError
+from repro.ledger.block import Block
+from repro.ledger.chain import Ledger
+from repro.ledger.properties import RunTranscript, check_all_properties
+from repro.ledger.transaction import (
+    CheckStatus,
+    Label,
+    TxRecord,
+    make_signed_transaction,
+)
+
+KEY = SigningKey(owner="p0", secret=b"\x10" * 32)
+_NONCE = iter(range(10_000))
+
+
+def record(label=Label.VALID, status=CheckStatus.CHECKED):
+    tx = make_signed_transaction(KEY, "x", 1.0, nonce=next(_NONCE))
+    return TxRecord(tx=tx, label=label, status=status)
+
+
+def chain_with(records_per_block):
+    ledger = Ledger(owner="g0")
+    for records in records_per_block:
+        ledger.append(
+            Block(
+                serial=ledger.height + 1,
+                tx_list=tuple(records),
+                prev_hash=ledger.tip_hash(),
+                proposer="g0",
+                round_number=ledger.height + 1,
+            )
+        )
+    return ledger
+
+
+def full_transcript(ledger):
+    t = RunTranscript()
+    for _serial, rec in ledger.all_records():
+        t.provider_broadcasts.add(rec.tx.tx_id)
+        t.collector_uploads.add(rec.tx.tx_id)
+    return t
+
+
+class TestHappyPath:
+    def test_all_properties_hold(self):
+        ledger = chain_with([[record()], [record(), record()]])
+        report = check_all_properties([ledger], full_transcript(ledger))
+        assert report.all_hold
+        assert report.violations == []
+
+    def test_validity_checked_for_honest_tx(self):
+        rec = record()
+        ledger = chain_with([[rec]])
+        t = full_transcript(ledger)
+        t.honest_valid_tx.add(rec.tx.tx_id)
+        report = check_all_properties([ledger], t)
+        assert report.validity
+
+
+class TestViolations:
+    def test_no_replicas_rejected(self):
+        with pytest.raises(LedgerError):
+            check_all_properties([], RunTranscript())
+
+    def test_almost_no_creation_missing_provider_broadcast(self):
+        ledger = chain_with([[record()]])
+        t = full_transcript(ledger)
+        t.provider_broadcasts.clear()
+        report = check_all_properties([ledger], t)
+        assert not report.almost_no_creation
+        assert not report.all_hold
+
+    def test_almost_no_creation_missing_collector_upload(self):
+        ledger = chain_with([[record()]])
+        t = full_transcript(ledger)
+        t.collector_uploads.clear()
+        report = check_all_properties([ledger], t)
+        assert not report.almost_no_creation
+
+    def test_validity_missing_tx(self):
+        ledger = chain_with([[record()]])
+        t = full_transcript(ledger)
+        t.honest_valid_tx.add("never-included")
+        report = check_all_properties([ledger], t)
+        assert not report.validity
+
+    def test_validity_permanently_invalid(self):
+        rec = record(label=Label.INVALID, status=CheckStatus.UNCHECKED)
+        ledger = chain_with([[rec]])
+        t = full_transcript(ledger)
+        t.honest_valid_tx.add(rec.tx.tx_id)
+        report = check_all_properties([ledger], t)
+        assert not report.validity
+
+    def test_validity_reevaluated_counts_as_ok(self):
+        buried = record(label=Label.INVALID, status=CheckStatus.UNCHECKED)
+        fixed = TxRecord(
+            tx=buried.tx, label=Label.VALID, status=CheckStatus.REEVALUATED
+        )
+        ledger = chain_with([[buried], [fixed]])
+        t = full_transcript(ledger)
+        t.honest_valid_tx.add(buried.tx.tx_id)
+        report = check_all_properties([ledger], t)
+        assert report.validity
+
+    def test_validity_skipped_when_run_incomplete(self):
+        ledger = chain_with([[record()]])
+        t = full_transcript(ledger)
+        t.honest_valid_tx.add("still-in-flight")
+        report = check_all_properties([ledger], t, run_complete=False)
+        assert report.validity  # not evaluated yet
+
+    def test_agreement_violation_reported(self):
+        a = chain_with([[record()]])
+        b = chain_with([[record()]])  # different contents at serial 1
+        t = RunTranscript(
+            provider_broadcasts={r.tx.tx_id for _s, r in a.all_records()}
+            | {r.tx.tx_id for _s, r in b.all_records()},
+            collector_uploads={r.tx.tx_id for _s, r in a.all_records()}
+            | {r.tx.tx_id for _s, r in b.all_records()},
+        )
+        report = check_all_properties([a, b], t)
+        assert not report.agreement
+        assert any("agreement" in v for v in report.violations)

@@ -1,0 +1,125 @@
+"""Tests for the Raft (crash-fault) baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.raft import RaftCluster, RaftRole
+from repro.exceptions import ConsensusError
+
+
+def make_cluster(n=5, seed=3, **kw):
+    return RaftCluster(node_ids=[f"n{i}" for i in range(n)], seed=seed, **kw)
+
+
+class TestConstruction:
+    def test_minimum_size(self):
+        with pytest.raises(ConsensusError):
+            make_cluster(n=2)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConsensusError):
+            RaftCluster(node_ids=["a", "a", "b"])
+
+    def test_bad_timeouts_rejected(self):
+        with pytest.raises(ConsensusError):
+            make_cluster(election_timeout=(10, 10))
+
+    def test_majority(self):
+        assert make_cluster(n=3).majority == 2
+        assert make_cluster(n=5).majority == 3
+        assert make_cluster(n=7).majority == 4
+
+
+class TestElections:
+    def test_elects_a_leader(self):
+        cluster = make_cluster()
+        leader = cluster.run_until_leader()
+        assert leader in cluster.nodes
+        assert cluster.nodes[leader].role is RaftRole.LEADER
+
+    def test_at_most_one_leader_per_term(self):
+        cluster = make_cluster(n=7, seed=9)
+        cluster.run_until_leader()
+        by_term: dict[int, list[str]] = {}
+        for node in cluster.nodes.values():
+            if node.role is RaftRole.LEADER:
+                by_term.setdefault(node.current_term, []).append(node.node_id)
+        assert all(len(ids) == 1 for ids in by_term.values())
+
+    def test_deterministic_in_seed(self):
+        l1 = make_cluster(seed=4).run_until_leader()
+        l2 = make_cluster(seed=4).run_until_leader()
+        assert l1 == l2
+
+    def test_no_majority_no_leader(self):
+        cluster = make_cluster(n=5)
+        for nid in ("n0", "n1", "n2"):
+            cluster.crash(nid)
+        with pytest.raises(ConsensusError):
+            cluster.run_until_leader(max_ticks=100)
+
+    def test_leader_crash_triggers_reelection(self):
+        cluster = make_cluster(n=5, seed=7)
+        first = cluster.run_until_leader()
+        cluster.crash(first)
+        second = cluster.run_until_leader()
+        assert second != first
+
+
+class TestReplication:
+    def test_entry_commits_on_all_alive_nodes(self):
+        cluster = make_cluster(n=5)
+        cluster.submit({"tx": 1})
+        for node in cluster.nodes.values():
+            assert cluster.committed_log(node.node_id) == [{"tx": 1}]
+
+    def test_multiple_entries_in_order(self):
+        cluster = make_cluster(n=5)
+        for i in range(5):
+            cluster.submit(f"e{i}")
+        assert cluster.committed_log("n0") == [f"e{i}" for i in range(5)]
+
+    def test_commits_with_minority_crashed(self):
+        cluster = make_cluster(n=5, seed=11)
+        leader = cluster.run_until_leader()
+        others = [nid for nid in cluster.node_ids if nid != leader]
+        cluster.crash(others[0])
+        cluster.crash(others[1])
+        cluster.submit("survives")
+        assert "survives" in cluster.committed_log(leader)
+
+    def test_restarted_node_catches_up(self):
+        cluster = make_cluster(n=5, seed=13)
+        leader = cluster.run_until_leader()
+        victim = next(nid for nid in cluster.node_ids if nid != leader)
+        cluster.crash(victim)
+        cluster.submit("while-down")
+        cluster.restart(victim)
+        cluster.submit("after-restart")
+        assert cluster.committed_log(victim) == ["while-down", "after-restart"]
+
+    def test_leader_failover_preserves_committed_entries(self):
+        cluster = make_cluster(n=5, seed=17)
+        cluster.submit("durable")
+        old_leader = cluster.leader()
+        cluster.crash(old_leader)
+        cluster.submit("after-failover")
+        new_leader = cluster.leader()
+        log = cluster.committed_log(new_leader)
+        assert log == ["durable", "after-failover"]
+
+
+class TestComplexity:
+    def test_replication_messages_linear_in_n(self):
+        costs = {}
+        for n in (3, 5, 9):
+            cluster = make_cluster(n=n, seed=19)
+            cluster.run_until_leader()
+            before = cluster.messages_exchanged
+            cluster.submit("x")
+            costs[n] = cluster.messages_exchanged - before
+        # Each AppendEntries round costs 2*(alive-1); submit may take a
+        # couple of heartbeat rounds — linear, not quadratic.
+        assert costs[9] < costs[3] * 9  # far below quadratic scaling
+        assert costs[9] > costs[3]

@@ -1,0 +1,124 @@
+"""Tests for workload recording and replay."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.core.protocol import ProtocolEngine
+from repro.exceptions import ConfigurationError
+from repro.network.topology import Topology
+from repro.workloads.generator import BernoulliWorkload
+from repro.workloads.replay import (
+    RecordingWorkload,
+    ReplayWorkload,
+    dump_specs,
+    load_specs,
+)
+
+PROVIDERS = [f"p{i}" for i in range(4)]
+
+
+class TestRecording:
+    def test_take_records_everything(self):
+        rec = RecordingWorkload(BernoulliWorkload(PROVIDERS, seed=1))
+        rec.take(5)
+        rec.take(3)
+        assert len(rec.recorded) == 8
+
+    def test_recorded_matches_emitted(self):
+        rec = RecordingWorkload(BernoulliWorkload(PROVIDERS, seed=1))
+        emitted = rec.take(6)
+        assert rec.recorded == emitted
+
+    def test_stream_records(self):
+        rec = RecordingWorkload(BernoulliWorkload(PROVIDERS, seed=1))
+        stream = rec.stream()
+        first_three = [next(stream) for _ in range(3)]
+        assert rec.recorded == first_three
+
+
+class TestReplay:
+    def test_replay_in_order(self):
+        original = BernoulliWorkload(PROVIDERS, seed=2).take(10)
+        replay = ReplayWorkload(original)
+        assert replay.take(4) == original[:4]
+        assert replay.take(6) == original[4:]
+        assert replay.remaining == 0
+
+    def test_over_read_rejected(self):
+        replay = ReplayWorkload(BernoulliWorkload(PROVIDERS, seed=2).take(3))
+        replay.take(3)
+        with pytest.raises(ConfigurationError):
+            replay.take(1)
+
+    def test_rewind(self):
+        original = BernoulliWorkload(PROVIDERS, seed=2).take(4)
+        replay = ReplayWorkload(original)
+        replay.take(4)
+        replay.rewind()
+        assert replay.take(4) == original
+
+
+class TestPersistence:
+    def test_dump_load_roundtrip(self):
+        original = BernoulliWorkload(PROVIDERS, seed=3).take(12)
+        buffer = io.StringIO()
+        assert dump_specs(original, buffer) == 12
+        buffer.seek(0)
+        loaded = load_specs(buffer)
+        assert loaded == original
+
+    def test_load_skips_blank_lines(self):
+        specs = load_specs(
+            ['{"provider": "p0", "payload": 1, "is_valid": true}', "", " "]
+        )
+        assert len(specs) == 1
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_specs(["{nope"])
+        with pytest.raises(ConfigurationError):
+            load_specs(['{"provider": "p0"}'])
+
+
+class TestEndToEndReplay:
+    def test_replayed_run_reproduces_chain(self):
+        """Record a run's workload; replaying it with the same engine
+        seed reproduces the exact chain — the debugging contract."""
+        topo = Topology.regular(l=4, n=4, m=3, r=2)
+
+        rec = RecordingWorkload(BernoulliWorkload(topo.providers, seed=5))
+        engine1 = ProtocolEngine(topo, ProtocolParams(f=0.5), seed=6)
+        hashes1 = [engine1.run_round(rec.take(6)).block.hash() for _ in range(3)]
+
+        buffer = io.StringIO()
+        dump_specs(rec.recorded, buffer)
+        buffer.seek(0)
+        replay = ReplayWorkload(load_specs(buffer))
+        engine2 = ProtocolEngine(topo, ProtocolParams(f=0.5), seed=6)
+        hashes2 = [engine2.run_round(replay.take(6)).block.hash() for _ in range(3)]
+
+        assert hashes1 == hashes2
+
+    def test_replay_under_different_parameters(self):
+        """The same traffic can be rerun under a different f — the
+        counterfactual analysis the replay tooling enables."""
+        topo = Topology.regular(l=4, n=4, m=3, r=2)
+        rec = RecordingWorkload(BernoulliWorkload(topo.providers, seed=7))
+        engine1 = ProtocolEngine(topo, ProtocolParams(f=0.2), seed=8)
+        for _ in range(3):
+            engine1.run_round(rec.take(6))
+        engine1.finalize()
+
+        replay = ReplayWorkload(rec.recorded)
+        engine2 = ProtocolEngine(topo, ProtocolParams(f=0.9), seed=8)
+        for _ in range(3):
+            engine2.run_round(replay.take(6))
+        engine2.finalize()
+
+        low_f = sum(g.metrics.validations for g in engine1.governors.values())
+        high_f = sum(g.metrics.validations for g in engine2.governors.values())
+        assert high_f <= low_f  # same traffic, fewer checks at larger f

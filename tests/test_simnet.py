@@ -1,0 +1,204 @@
+"""Unit tests for the simulator and synchronous network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network.simnet import Message, Simulator, SyncNetwork
+
+
+def make_net(min_delay=0.01, max_delay=0.1, seed=1):
+    sim = Simulator(seed=0)
+    net = SyncNetwork(sim, min_delay=min_delay, max_delay=max_delay, seed=seed)
+    return sim, net
+
+
+class TestSimulator:
+    def test_run_executes_everything(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule_after(0.5, lambda: hits.append(1))
+        sim.schedule_after(0.2, lambda: hits.append(2))
+        executed = sim.run()
+        assert executed == 2
+        assert hits == [2, 1]
+        assert sim.now == 0.5
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        sim.schedule_at(10.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule_after(-0.1, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        hits = []
+        def outer():
+            hits.append("outer")
+            sim.schedule_after(0.1, lambda: hits.append("inner"))
+        sim.schedule_after(0.1, outer)
+        sim.run()
+        assert hits == ["outer", "inner"]
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+        def reschedule():
+            sim.schedule_after(0.001, reschedule)
+        sim.schedule_after(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_cancel(self):
+        sim = Simulator()
+        hits = []
+        ev = sim.schedule_after(1.0, lambda: hits.append(1))
+        sim.cancel(ev)
+        sim.run()
+        assert hits == []
+
+
+class TestSyncNetwork:
+    def test_delivery_within_bounds(self):
+        sim, net = make_net()
+        got = []
+        net.register("b", got.append)
+        net.register("a", lambda m: None)
+        net.send("a", "b", "hello")
+        sim.run()
+        assert len(got) == 1
+        msg = got[0]
+        assert msg.payload == "hello"
+        assert 0.01 <= msg.latency <= 0.1 + 1e-12
+
+    def test_unregistered_receiver_rejected(self):
+        _sim, net = make_net()
+        with pytest.raises(SimulationError):
+            net.send("a", "ghost", "x")
+
+    def test_fifo_per_channel(self):
+        sim, net = make_net(min_delay=0.0, max_delay=0.5)
+        got = []
+        net.register("b", lambda m: got.append(m.payload))
+        net.register("a", lambda m: None)
+        for i in range(50):
+            net.send("a", "b", i)
+        sim.run()
+        assert got == list(range(50))
+
+    def test_fixed_delay_when_bounds_equal(self):
+        sim, net = make_net(min_delay=0.2, max_delay=0.2)
+        got = []
+        net.register("b", got.append)
+        net.send("a", "b", "x")
+        sim.run()
+        assert got[0].latency == pytest.approx(0.2)
+
+    def test_invalid_bounds_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            SyncNetwork(sim, min_delay=0.5, max_delay=0.1)
+
+    def test_multicast_reaches_all(self):
+        sim, net = make_net()
+        got = {name: [] for name in "bcd"}
+        for name in "bcd":
+            net.register(name, got[name].append)
+        net.multicast("a", ["b", "c", "d"], "ping")
+        sim.run()
+        assert all(len(v) == 1 for v in got.values())
+
+    def test_stats_counting(self):
+        sim, net = make_net()
+        net.register("b", lambda m: None)
+        net.send("a", "b", "x", size_hint=10)
+        net.send("a", "b", "y", size_hint=5)
+        assert net.stats.messages_sent == 2
+        assert net.stats.bytes_sent == 15
+
+    def test_stats_by_kind(self):
+        sim, net = make_net()
+        net.register("b", lambda m: None)
+
+        class Payload:
+            kind = "vrf-announce"
+
+        net.send("a", "b", Payload())
+        assert net.stats.messages_by_kind["vrf-announce"] == 1
+
+    def test_partitioned_receiver_drops(self):
+        sim, net = make_net()
+        got = []
+        net.register("b", got.append)
+        net.partition("b")
+        net.send("a", "b", "x")
+        sim.run()
+        assert got == []
+
+    def test_partitioned_sender_drops(self):
+        sim, net = make_net()
+        got = []
+        net.register("b", got.append)
+        net.partition("a")
+        net.send("a", "b", "x")
+        sim.run()
+        assert got == []
+
+    def test_heal_restores_delivery(self):
+        sim, net = make_net()
+        got = []
+        net.register("b", got.append)
+        net.partition("b")
+        net.send("a", "b", "lost")
+        net.heal("b")
+        net.send("a", "b", "found")
+        sim.run()
+        assert [m.payload for m in got] == ["found"]
+
+    def test_deterministic_in_seed(self):
+        def run(seed):
+            sim, net = make_net(seed=seed)
+            latencies = []
+            net.register("b", lambda m: latencies.append(m.latency))
+            for _ in range(10):
+                net.send("a", "b", "x")
+            sim.run()
+            return latencies
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestLatencyStats:
+    def test_percentiles_within_bounds(self):
+        sim, net = make_net(min_delay=0.01, max_delay=0.1)
+        net.register("b", lambda m: None)
+        for _ in range(200):
+            net.send("a", "b", "x")
+        sim.run()
+        p50 = net.stats.latency_percentile(50)
+        p99 = net.stats.latency_percentile(99)
+        assert 0.01 <= p50 <= p99 <= 0.1 + 1e-9
+
+    def test_percentile_requires_messages(self):
+        _sim, net = make_net()
+        with pytest.raises(SimulationError):
+            net.stats.latency_percentile(50)
+
+    def test_percentile_range_checked(self):
+        sim, net = make_net()
+        net.register("b", lambda m: None)
+        net.send("a", "b", "x")
+        with pytest.raises(SimulationError):
+            net.stats.latency_percentile(101)

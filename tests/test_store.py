@@ -1,0 +1,80 @@
+"""Unit tests for the shared block store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.signatures import SigningKey
+from repro.exceptions import AgreementError, BlockNotFoundError
+from repro.ledger.block import GENESIS_PREV_HASH, Block
+from repro.ledger.store import BlockStore
+from repro.ledger.transaction import CheckStatus, Label, TxRecord, make_signed_transaction
+
+KEY = SigningKey(owner="p0", secret=b"\x0e" * 32)
+
+
+def block(serial: int, payload: str = "x", prev: bytes = GENESIS_PREV_HASH) -> Block:
+    tx = make_signed_transaction(KEY, payload, 1.0, nonce=serial)
+    rec = TxRecord(tx=tx, label=Label.VALID, status=CheckStatus.CHECKED)
+    return Block(
+        serial=serial, tx_list=(rec,), prev_hash=prev, proposer="g0", round_number=serial
+    )
+
+
+class TestPublish:
+    def test_publish_and_retrieve(self):
+        store = BlockStore()
+        b = block(1)
+        store.publish(b)
+        assert store.retrieve(1) is b
+        assert store.height == 1
+
+    def test_republish_identical_is_noop(self):
+        store = BlockStore()
+        b = block(1)
+        store.publish(b)
+        store.publish(b)
+        assert store.height == 1
+
+    def test_conflicting_publish_rejected(self):
+        store = BlockStore()
+        store.publish(block(1, "a"))
+        with pytest.raises(AgreementError):
+            store.publish(block(1, "b"))
+
+    def test_retrieve_missing(self):
+        with pytest.raises(BlockNotFoundError):
+            BlockStore().retrieve(1)
+
+
+class TestCursors:
+    def test_next_for_walks_in_order(self):
+        store = BlockStore()
+        b1, b2 = block(1), block(2)
+        store.publish(b1)
+        store.publish(b2)
+        assert store.next_for("reader").serial == 1
+        assert store.next_for("reader").serial == 2
+        assert store.next_for("reader") is None
+
+    def test_cursors_independent_per_reader(self):
+        store = BlockStore()
+        store.publish(block(1))
+        assert store.next_for("a").serial == 1
+        assert store.next_for("b").serial == 1
+
+    def test_unread_count(self):
+        store = BlockStore()
+        store.publish(block(1))
+        store.publish(block(2))
+        assert store.unread_count("r") == 2
+        store.next_for("r")
+        assert store.unread_count("r") == 1
+
+    def test_reader_resumes_after_gap_fill(self):
+        store = BlockStore()
+        store.publish(block(1))
+        store.next_for("r")
+        assert store.next_for("r") is None
+        store.publish(block(2))
+        assert store.next_for("r").serial == 2

@@ -1,0 +1,87 @@
+"""Tests for replica catch-up (ledger sync)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.signatures import SigningKey
+from repro.exceptions import ChainIntegrityError, LedgerError
+from repro.ledger.block import Block
+from repro.ledger.chain import Ledger
+from repro.ledger.store import BlockStore
+from repro.ledger.sync import sync_replica, verify_sync
+from repro.ledger.transaction import CheckStatus, Label, TxRecord, make_signed_transaction
+
+KEY = SigningKey(owner="p0", secret=b"\x15" * 32)
+_NONCE = iter(range(100_000))
+
+
+def publish_chain(store: BlockStore, n: int) -> list[Block]:
+    prev = b"\x00" * 32
+    blocks = []
+    for serial in range(1, n + 1):
+        tx = make_signed_transaction(KEY, f"b{serial}", 1.0, nonce=next(_NONCE))
+        rec = TxRecord(tx=tx, label=Label.VALID, status=CheckStatus.CHECKED)
+        block = Block(
+            serial=serial, tx_list=(rec,), prev_hash=prev,
+            proposer="g0", round_number=serial,
+        )
+        store.publish(block)
+        blocks.append(block)
+        prev = block.hash()
+    return blocks
+
+
+class TestSyncReplica:
+    def test_full_catchup_from_genesis(self):
+        store = BlockStore()
+        publish_chain(store, 5)
+        replica = Ledger(owner="late")
+        appended = sync_replica(replica, store)
+        assert appended == 5
+        assert verify_sync(replica, store)
+
+    def test_partial_catchup_with_limit(self):
+        store = BlockStore()
+        publish_chain(store, 6)
+        replica = Ledger(owner="late")
+        assert sync_replica(replica, store, limit=2) == 2
+        assert replica.height == 2
+        assert not verify_sync(replica, store)
+        assert sync_replica(replica, store) == 4
+        assert verify_sync(replica, store)
+
+    def test_noop_when_caught_up(self):
+        store = BlockStore()
+        blocks = publish_chain(store, 3)
+        replica = Ledger(owner="r")
+        for block in blocks:
+            replica.append(block)
+        assert sync_replica(replica, store) == 0
+        assert verify_sync(replica, store)
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(LedgerError):
+            sync_replica(Ledger(), BlockStore(), limit=-1)
+
+    def test_corrupt_replica_detected(self):
+        store = BlockStore()
+        publish_chain(store, 3)
+        # A replica holding a divergent block cannot link the next one.
+        replica = Ledger(owner="corrupt")
+        tx = make_signed_transaction(KEY, "evil", 1.0, nonce=next(_NONCE))
+        rec = TxRecord(tx=tx, label=Label.VALID, status=CheckStatus.CHECKED)
+        replica.append(
+            Block(serial=1, tx_list=(rec,), prev_hash=b"\x00" * 32,
+                  proposer="gX", round_number=1)
+        )
+        with pytest.raises(ChainIntegrityError):
+            sync_replica(replica, store)
+
+    def test_verify_sync_empty_both(self):
+        assert verify_sync(Ledger(), BlockStore())
+
+    def test_verify_sync_height_mismatch(self):
+        store = BlockStore()
+        publish_chain(store, 2)
+        assert not verify_sync(Ledger(), store)

@@ -1,0 +1,97 @@
+"""Tests for the Tendermint-style rotating-leader baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consensus.tendermint import TendermintCluster, tm_quorum
+from repro.crypto.identity import IdentityManager, Role
+from repro.exceptions import ConsensusError
+
+
+def make_cluster(n=4, seed=12):
+    im = IdentityManager(seed=seed)
+    ids = [f"v{i}" for i in range(n)]
+    for vid in ids:
+        im.enroll(vid, Role.GOVERNOR)
+    return TendermintCluster(im=im, validator_ids=ids)
+
+
+class TestQuorum:
+    def test_values(self):
+        assert tm_quorum(4) == 3
+        assert tm_quorum(7) == 5
+        assert tm_quorum(10) == 7
+
+    def test_minimum_size(self):
+        with pytest.raises(ConsensusError):
+            tm_quorum(3)
+        with pytest.raises(ConsensusError):
+            make_cluster(n=3)
+
+
+class TestRotation:
+    def test_proposer_rotates_with_height(self):
+        cluster = make_cluster(n=4)
+        proposers = {cluster.proposer_for(h, 0) for h in range(4)}
+        assert proposers == set(cluster.validator_ids)
+
+    def test_proposer_rotates_within_height(self):
+        cluster = make_cluster(n=4)
+        assert cluster.proposer_for(1, 0) != cluster.proposer_for(1, 1)
+
+
+class TestNormalCase:
+    def test_decides_in_one_round(self):
+        cluster = make_cluster()
+        assert cluster.run({"block": 1}) == {"block": 1}
+        assert cluster.rounds_used == 1
+
+    def test_message_complexity_quadratic(self):
+        counts = {}
+        for n in (4, 8, 16):
+            cluster = make_cluster(n=n)
+            cluster.run("p")
+            counts[n] = cluster.messages_exchanged
+        # Expected: (n-1) + 2 * n * (n-1) per clean round.
+        for n, count in counts.items():
+            assert count == (n - 1) + 2 * n * (n - 1)
+
+    def test_repeat_heights_rotate(self):
+        cluster = make_cluster()
+        for h in range(1, 5):
+            fresh = make_cluster()
+            fresh.run(f"b{h}", height=h)
+
+
+class TestFaults:
+    def test_silent_proposer_costs_one_round(self):
+        cluster = make_cluster(n=7)
+        cluster.mark_faulty(cluster.proposer_for(1, 0))
+        assert cluster.run("payload") == "payload"
+        assert cluster.rounds_used == 2
+
+    def test_tolerates_f_faults(self):
+        cluster = make_cluster(n=7)  # f = 2
+        cluster.mark_faulty("v5")
+        cluster.mark_faulty("v6")
+        assert cluster.run("payload") == "payload"
+
+    def test_too_many_faults_rejected(self):
+        cluster = make_cluster(n=4)  # f = 1
+        cluster.mark_faulty("v2")
+        cluster.mark_faulty("v3")
+        with pytest.raises(ConsensusError):
+            cluster.run("payload")
+
+    def test_unknown_validator_rejected(self):
+        with pytest.raises(ConsensusError):
+            make_cluster().mark_faulty("ghost")
+
+    def test_consecutive_faulty_proposers(self):
+        cluster = make_cluster(n=10)  # f = 3
+        # Knock out the proposers of rounds 0..2 for height 1.
+        for rnd in range(3):
+            cluster.mark_faulty(cluster.proposer_for(1, rnd))
+        assert cluster.run("payload") == "payload"
+        assert cluster.rounds_used == 4

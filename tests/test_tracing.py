@@ -1,0 +1,106 @@
+"""Tests for structured run tracing."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.agents.behaviors import MisreportBehavior
+from repro.analysis.tracing import RunTracer
+from repro.core.params import ProtocolParams
+from repro.core.protocol import ProtocolEngine
+from repro.exceptions import ConfigurationError
+from repro.network.topology import Topology
+from repro.workloads.generator import BernoulliWorkload
+
+
+@pytest.fixture
+def traced_run():
+    topo = Topology.regular(l=8, n=4, m=3, r=2)
+    engine = ProtocolEngine(
+        topo, ProtocolParams(f=0.6),
+        behaviors={"c0": MisreportBehavior(0.5)},
+        seed=1, leader_rotation=True,
+    )
+    workload = BernoulliWorkload(topo.providers, p_valid=0.8, seed=2)
+    tracer = RunTracer(watch_collectors=("c0", "c1"))
+    for _ in range(5):
+        result = engine.run_round(workload.take(8))
+        tracer.observe_round(engine, result)
+    return engine, tracer
+
+
+class TestCapture:
+    def test_round_events(self, traced_run):
+        _engine, tracer = traced_run
+        rounds = tracer.of_kind("round")
+        assert len(rounds) == 5
+        assert [e["round"] for e in rounds] == [1, 2, 3, 4, 5]
+        assert all("leader" in e and "block_size" in e for e in rounds)
+
+    def test_record_events_cover_blocks(self, traced_run):
+        engine, tracer = traced_run
+        records = tracer.of_kind("record")
+        on_chain = sum(len(b.tx_list) for b in engine.governors["g0"].ledger.blocks())
+        assert len(records) == on_chain
+
+    def test_upload_events(self, traced_run):
+        _engine, tracer = traced_run
+        uploads = tracer.of_kind("upload")
+        # 8 txs x r = 2 collectors per round x 5 rounds (all upload).
+        assert len(uploads) == 8 * 2 * 5
+
+    def test_uploads_can_be_disabled(self):
+        topo = Topology.regular(l=4, n=4, m=3, r=2)
+        engine = ProtocolEngine(topo, ProtocolParams(f=0.5), seed=3)
+        workload = BernoulliWorkload(topo.providers, seed=4)
+        tracer = RunTracer(include_uploads=False)
+        tracer.observe_round(engine, engine.run_round(workload.take(4)))
+        assert tracer.of_kind("upload") == []
+
+    def test_reward_events_sum_to_pool(self, traced_run):
+        _engine, tracer = traced_run
+        per_round = {}
+        for e in tracer.of_kind("reward"):
+            per_round.setdefault(e["round"], 0.0)
+            per_round[e["round"]] += e["amount"]
+        assert all(abs(total - 100.0) < 1e-6 for total in per_round.values())
+
+    def test_reputation_series_monotone_for_misreporter(self, traced_run):
+        engine, tracer = traced_run
+        provider = engine.topology.providers_of("c0")[0]
+        series = tracer.reputation_series("c0", provider)
+        assert len(series) == 5
+        assert all(a >= b - 1e-12 for a, b in zip(series, series[1:]))
+
+    def test_tx_history_links_upload_and_record(self, traced_run):
+        _engine, tracer = traced_run
+        some_record = tracer.of_kind("record")[0]
+        history = tracer.tx_history(some_record["tx_id"])
+        kinds = {e["kind"] for e in history}
+        assert "record" in kinds
+        assert "upload" in kinds
+
+
+class TestSerialisation:
+    def test_dump_load_roundtrip(self, traced_run):
+        _engine, tracer = traced_run
+        buffer = io.StringIO()
+        count = tracer.dump(buffer)
+        assert count == len(tracer.events)
+        buffer.seek(0)
+        loaded = RunTracer.load(buffer)
+        assert loaded.events == tracer.events
+
+    def test_load_skips_blank_lines(self):
+        loaded = RunTracer.load(['{"kind": "round"}', "", '{"kind": "reward"}'])
+        assert len(loaded.events) == 2
+
+    def test_load_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            RunTracer.load(["not json"])
+
+    def test_load_rejects_kindless_events(self):
+        with pytest.raises(ConfigurationError):
+            RunTracer.load(['{"round": 1}'])

@@ -1,0 +1,143 @@
+"""Unit tests for Algorithm 3 (reputation updating)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import ProtocolParams, gamma_for
+from repro.core.reputation import ReputationBook
+from repro.core.updating import (
+    apply_checked_update,
+    apply_forge_update,
+    apply_reveal_update,
+    compute_loss,
+)
+from repro.ledger.transaction import Label
+
+COLLECTORS = ("c0", "c1", "c2")
+
+
+def make_book(weights=None) -> ReputationBook:
+    book = ReputationBook(governor="g0", initial=1.0)
+    for c in COLLECTORS:
+        book.register_collector(c, ["p0"])
+    for c, w in (weights or {}).items():
+        book.vector(c).provider_weights["p0"] = w
+    return book
+
+
+class TestCase1Forge:
+    def test_decrements_forge_entry(self):
+        book = make_book()
+        apply_forge_update(book, "c0")
+        assert book.vector("c0").forge == -1
+
+
+class TestCase2Checked:
+    def test_correct_labelers_rewarded(self):
+        book = make_book()
+        labels = {"c0": Label.VALID, "c1": Label.INVALID}
+        apply_checked_update(book, labels, true_label=Label.VALID)
+        assert book.vector("c0").misreport == 1
+        assert book.vector("c1").misreport == -1
+
+    def test_silent_collectors_unaffected(self):
+        book = make_book()
+        apply_checked_update(book, {"c0": Label.VALID}, true_label=Label.VALID)
+        assert book.vector("c2").misreport == 0
+
+    def test_provider_weights_untouched_by_case2(self):
+        book = make_book()
+        apply_checked_update(book, {"c0": Label.INVALID}, true_label=Label.VALID)
+        assert book.weight("c0", "p0") == 1.0
+
+
+class TestComputeLoss:
+    def test_all_right_zero_loss(self):
+        book = make_book()
+        loss, w_right, w_wrong = compute_loss(
+            book, "p0", {"c0": Label.VALID, "c1": Label.VALID}, Label.VALID
+        )
+        assert loss == 0.0
+        assert w_right == pytest.approx(2.0)
+        assert w_wrong == 0.0
+
+    def test_all_wrong_max_loss(self):
+        book = make_book()
+        loss, _wr, _ww = compute_loss(
+            book, "p0", {"c0": Label.INVALID}, Label.VALID
+        )
+        assert loss == pytest.approx(2.0)
+
+    def test_weighted_loss(self):
+        book = make_book({"c0": 3.0, "c1": 1.0})
+        loss, _wr, _ww = compute_loss(
+            book, "p0", {"c0": Label.VALID, "c1": Label.INVALID}, Label.VALID
+        )
+        # L = 2 * 1 / (3 + 1) = 0.5
+        assert loss == pytest.approx(0.5)
+
+    def test_no_reports_zero_loss(self):
+        assert compute_loss(make_book(), "p0", {}, Label.VALID)[0] == 0.0
+
+
+class TestCase3Reveal:
+    def test_outcome_classification(self):
+        params = ProtocolParams(beta=0.9)
+        book = make_book()
+        summary = apply_reveal_update(
+            params,
+            book,
+            "p0",
+            COLLECTORS,
+            {"c0": Label.VALID, "c1": Label.INVALID},
+            true_label=Label.VALID,
+        )
+        assert summary.outcomes == {"c0": "correct", "c1": "wrong", "c2": "missed"}
+
+    def test_multiplicative_factors_applied(self):
+        params = ProtocolParams(beta=0.9)
+        book = make_book()
+        summary = apply_reveal_update(
+            params,
+            book,
+            "p0",
+            COLLECTORS,
+            {"c0": Label.VALID, "c1": Label.INVALID},
+            true_label=Label.VALID,
+        )
+        assert book.weight("c0", "p0") == 1.0
+        assert book.weight("c1", "p0") == pytest.approx(summary.gamma)
+        assert book.weight("c2", "p0") == pytest.approx(0.9)
+
+    def test_gamma_matches_paper_rule(self):
+        params = ProtocolParams(beta=0.9)
+        book = make_book({"c0": 1.0, "c1": 1.0})
+        summary = apply_reveal_update(
+            params, book, "p0", COLLECTORS,
+            {"c0": Label.VALID, "c1": Label.INVALID}, true_label=Label.VALID,
+        )
+        assert summary.loss == pytest.approx(1.0)  # 2*1/(1+1)
+        assert summary.gamma == pytest.approx(gamma_for(0.9, 1.0))
+
+    def test_invalid_truth_swaps_right_and_wrong(self):
+        params = ProtocolParams(beta=0.9)
+        book = make_book()
+        summary = apply_reveal_update(
+            params, book, "p0", COLLECTORS,
+            {"c0": Label.VALID, "c1": Label.INVALID}, true_label=Label.INVALID,
+        )
+        assert summary.outcomes["c0"] == "wrong"
+        assert summary.outcomes["c1"] == "correct"
+
+    def test_loss_uses_book_at_reveal_time(self):
+        params = ProtocolParams(beta=0.9)
+        book = make_book({"c0": 0.25, "c1": 1.0})
+        summary = apply_reveal_update(
+            params, book, "p0", COLLECTORS,
+            {"c0": Label.INVALID, "c1": Label.VALID}, true_label=Label.VALID,
+        )
+        # W_wrong = 0.25, W_right = 1.0 -> L = 0.5/1.25 = 0.4
+        assert summary.loss == pytest.approx(0.4)
+        assert summary.w_right == pytest.approx(1.0)
+        assert summary.w_wrong == pytest.approx(0.25)

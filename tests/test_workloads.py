@@ -1,0 +1,114 @@
+"""Tests for workload generators and arrival processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.arrivals import ConstantArrivals, DiurnalArrivals, PoissonArrivals
+from repro.workloads.generator import (
+    BernoulliWorkload,
+    BurstyWorkload,
+    PerProviderWorkload,
+)
+
+PROVIDERS = [f"p{i}" for i in range(5)]
+
+
+class TestBernoulli:
+    def test_round_robin_providers(self):
+        wl = BernoulliWorkload(PROVIDERS, p_valid=0.5, seed=1)
+        specs = wl.take(10)
+        assert [s.provider for s in specs] == PROVIDERS * 2
+
+    def test_validity_rate(self):
+        wl = BernoulliWorkload(PROVIDERS, p_valid=0.7, seed=1)
+        specs = wl.take(5000)
+        rate = sum(s.is_valid for s in specs) / 5000
+        assert rate == pytest.approx(0.7, abs=0.03)
+
+    def test_deterministic(self):
+        a = BernoulliWorkload(PROVIDERS, p_valid=0.5, seed=9).take(50)
+        b = BernoulliWorkload(PROVIDERS, p_valid=0.5, seed=9).take(50)
+        assert [s.is_valid for s in a] == [s.is_valid for s in b]
+
+    def test_payloads_unique(self):
+        wl = BernoulliWorkload(PROVIDERS, seed=1)
+        payloads = [str(s.payload) for s in wl.take(20)]
+        assert len(set(payloads)) == 20
+
+    def test_stream_is_endless(self):
+        wl = BernoulliWorkload(PROVIDERS, seed=1)
+        stream = wl.stream()
+        assert [next(stream).provider for _ in range(7)] == (PROVIDERS * 2)[:7]
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliWorkload([], p_valid=0.5)
+        with pytest.raises(ConfigurationError):
+            BernoulliWorkload(PROVIDERS, p_valid=1.5)
+
+
+class TestPerProvider:
+    def test_rates_assigned_once(self):
+        wl = PerProviderWorkload(PROVIDERS, seed=2)
+        assert set(wl.rates) == set(PROVIDERS)
+        assert all(0.0 <= r <= 1.0 for r in wl.rates.values())
+
+    def test_provider_heterogeneity_realised(self):
+        wl = PerProviderWorkload(PROVIDERS, alpha=2.0, beta=2.0, seed=3)
+        specs = wl.take(10_000)
+        by_provider = {p: [] for p in PROVIDERS}
+        for s in specs:
+            by_provider[s.provider].append(s.is_valid)
+        empirical = {p: np.mean(v) for p, v in by_provider.items()}
+        for p in PROVIDERS:
+            assert empirical[p] == pytest.approx(wl.rates[p], abs=0.06)
+
+    def test_invalid_beta_params(self):
+        with pytest.raises(ConfigurationError):
+            PerProviderWorkload(PROVIDERS, alpha=0.0)
+
+
+class TestBursty:
+    def test_regime_switching_changes_rates(self):
+        wl = BurstyWorkload(PROVIDERS, p_good=0.95, p_bad=0.1, stay=0.9, seed=4)
+        specs = wl.take(5000)
+        overall = sum(s.is_valid for s in specs) / 5000
+        # Mixture: strictly between the two regime rates.
+        assert 0.1 < overall < 0.95
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            BurstyWorkload(PROVIDERS, stay=1.2)
+
+
+class TestArrivals:
+    def test_constant(self):
+        arr = ConstantArrivals(batch=7)
+        assert [arr.count_for_round(r) for r in range(3)] == [7, 7, 7]
+
+    def test_constant_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantArrivals(batch=-1)
+
+    def test_poisson_mean(self):
+        arr = PoissonArrivals(rate=10.0, seed=5)
+        counts = [arr.count_for_round(r) for r in range(2000)]
+        assert np.mean(counts) == pytest.approx(10.0, abs=0.5)
+
+    def test_poisson_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate=-1.0)
+
+    def test_diurnal_modulation(self):
+        arr = DiurnalArrivals(rate=20.0, period=24, amplitude=0.9, seed=6)
+        # Average counts at the peak phase vs the trough phase.
+        peak = np.mean([arr.count_for_round(6 + 24 * k) for k in range(300)])
+        trough = np.mean([arr.count_for_round(18 + 24 * k) for k in range(300)])
+        assert peak > trough * 1.5
+
+    def test_diurnal_invalid_amplitude(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalArrivals(rate=1.0, amplitude=2.0)
