@@ -10,6 +10,7 @@ requests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -144,6 +145,61 @@ class Governor:
         """Whether this governor receives the collector's uploads."""
         return collector in getattr(self, "_visible", frozenset())
 
+    # -- collector churn (crash retirement / re-admission) ----------------
+
+    def drop_collector(self, collector: str) -> None:
+        """Retire a collector: remove its vector and scrub buffered labels.
+
+        Used when a crashed collector is churned out.  Buffered labels
+        from it are scrubbed so screening never looks up a weight the
+        book no longer holds; a transaction left with no reports is
+        dropped entirely (its armed Δ timer no-ops).  The collector is
+        also removed from every provider's linked set, so it stops
+        contributing silent mass ``W_0``.
+        """
+        self.book.retire_collector(collector)
+        self._visible = frozenset(getattr(self, "_visible", frozenset()) - {collector})
+        self._linked = {
+            provider: tuple(c for c in linked if c != collector)
+            for provider, linked in self._linked.items()
+        }
+        for tx_id in list(self._received):
+            _tx, labels = self._received[tx_id]
+            if collector in labels:
+                del labels[collector]
+                if not labels:
+                    del self._received[tx_id]
+
+    def admit_collector(
+        self, collector: str, providers: Iterable[str], bootstrap: str = "median"
+    ) -> None:
+        """Re-admit a churned collector under the membership churn rules.
+
+        The reputation bootstrap (median / initial / min) matches
+        :meth:`repro.core.reputation.ReputationBook.readmit_collector`;
+        the collector rejoins the linked sets of exactly ``providers``.
+        """
+        providers = tuple(providers)
+        self.book.readmit_collector(collector, providers, bootstrap=bootstrap)
+        self._visible = frozenset(getattr(self, "_visible", frozenset()) | {collector})
+        self._linked = {
+            provider: (
+                linked + (collector,)
+                if provider in providers and collector not in linked
+                else linked
+            )
+            for provider, linked in self._linked.items()
+        }
+
+    def crash_reset(self) -> None:
+        """Model a crash-stop: volatile screening state is lost.
+
+        The ledger (durable storage) survives; the in-memory report
+        buffer does not.  Pending-unchecked decisions survive too — they
+        are reconstructable from the ledger's unchecked records.
+        """
+        self._received.clear()
+
     # -- upload ingestion (Algorithm 2, deliver arm) ----------------------
 
     def ingest_upload(self, upload: LabeledTransaction) -> bool:
@@ -159,6 +215,11 @@ class Governor:
             True if buffered for screening.
         """
         self.metrics.uploads_received += 1
+        if not self.book.is_registered(upload.collector):
+            # Churned out (e.g. retired after a crash): late in-flight
+            # uploads from it carry no reputation standing and are
+            # dropped before any attribution is attempted.
+            return False
         tx, label = upload.parse()
         collector_ok = self.im.verify(
             upload.collector, upload.signed_message(), upload.collector_signature

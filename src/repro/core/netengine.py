@@ -26,6 +26,21 @@ The engine is slower than the in-process one (every payload is a
 scheduled event), so the big statistical experiments use
 ``ProtocolEngine``; this engine is the fidelity reference for
 integration tests and the Δ-timing experiments.
+
+**Fault tolerance** (``resilience=True``): the engine can run under a
+seeded :class:`~repro.faults.FaultPlan` (``install_faults``) and still
+uphold its safety properties.  Feed and upload traffic flows through an
+ack/retransmit :class:`~repro.network.reliable.ReliableChannel`; the
+block/upload broadcast groups repair sequence gaps via NACKs to a
+sequencer endpoint with a deterministic backup
+(:meth:`~repro.network.broadcast.AtomicBroadcast.enable_gap_repair`);
+a crashed governor loses its volatile screening buffer, is retired from
+leadership, and on recovery rejoins via
+:func:`repro.ledger.sync.sync_replica` plus broadcast-cursor catch-up;
+a crashed collector is retired from every governor's reputation book
+and re-admitted under the membership churn rules (median bootstrap)
+when it returns.  A crashed elected leader fails over deterministically
+to the next live governor at pack time.
 """
 
 from __future__ import annotations
@@ -45,17 +60,33 @@ from repro.core.params import ProtocolParams
 from repro.core.rewards import distribute_rewards
 from repro.crypto.identity import IdentityManager, Role
 from repro.exceptions import ConfigurationError, SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.ledger.block import GENESIS_PREV_HASH, Block
 from repro.ledger.properties import RunTranscript
 from repro.ledger.store import BlockStore
+from repro.ledger.sync import sync_replica
 from repro.ledger.transaction import LabeledTransaction, SignedTransaction, TxRecord
 from repro.ledger.validation import CountingOracle, GroundTruthOracle
 from repro.network.broadcast import AtomicBroadcast
+from repro.network.reliable import ReliableChannel
 from repro.network.simnet import Message, Simulator, SyncNetwork
 from repro.network.topology import Topology
 from repro.workloads.generator import TxSpec
 
-__all__ = ["ArgueRequest", "NetworkedRoundResult", "NetworkedProtocolEngine"]
+__all__ = [
+    "ArgueRequest",
+    "NetworkedRoundResult",
+    "NetworkedProtocolEngine",
+    "SEQUENCER_PRIMARY",
+    "SEQUENCER_BACKUP",
+]
+
+#: Dedicated network identities of the broadcast sequencer's repair
+#: endpoints (the Identity Manager's ordering service and its replica).
+#: Distinct from every p*/c*/g* topology id.
+SEQUENCER_PRIMARY = "seq-primary"
+SEQUENCER_BACKUP = "seq-backup"
 
 
 @dataclass(frozen=True)
@@ -92,6 +123,11 @@ class NetworkedProtocolEngine:
         min_delay / max_delay: Channel latency bounds (the synchrony
             assumption's Δ-net).
         stake: governor id -> stake units (default 1 each).
+        resilience: Enable the fault-tolerance machinery — reliable
+            feed/upload delivery, broadcast gap repair with sequencer
+            failover, and crash-recovery wiring.  Off by default: the
+            fault-free engine's packet counts stay bit-identical to the
+            pre-resilience implementation.
     """
 
     def __init__(
@@ -103,6 +139,7 @@ class NetworkedProtocolEngine:
         min_delay: float = 0.005,
         max_delay: float = 0.05,
         stake: Mapping[str, int] | None = None,
+        resilience: bool = False,
     ):
         if params.delta < 2 * max_delay:
             raise ConfigurationError(
@@ -120,10 +157,22 @@ class NetworkedProtocolEngine:
             self.sim, min_delay=min_delay, max_delay=max_delay, seed=seed + 1
         )
         self.broadcast = AtomicBroadcast(self.network)
+        self.resilience = resilience
+        self.channel: ReliableChannel | None = (
+            ReliableChannel(self.network, max_retries=5) if resilience else None
+        )
+        self.injector: FaultInjector | None = None
+        self._crashed: set[str] = set()
+        # (sim time, "crash"/"recover", node id, blocks synced on recovery)
+        self.fault_log: list[tuple[float, str, str, int]] = []
         self._master = np.random.default_rng(seed)
         self._round = 0
         self._reevaluated_queue: dict[str, TxRecord] = {}
         self._round_records: dict[str, list[TxRecord]] = {}
+        # tx ids already packed into some block: the pack-time dedup
+        # filter that lets late-screened records carry across rounds
+        # without a later leader re-packing an on-chain transaction.
+        self._packed_tx_ids: set[str] = set()
         self._argues_sent = 0
         self.rewards_paid: dict[str, float] = {}
 
@@ -176,17 +225,30 @@ class NetworkedProtocolEngine:
         self.broadcast.create_group("uploads", list(topology.governors))
         self.broadcast.create_group("blocks", list(topology.governors))
 
+        # With resilience on, nodes register behind the reliable channel
+        # (plain traffic passes through it untouched) and the lossless
+        # groups ride the ack/retransmit transport.
+        register = self.channel.register if self.channel is not None else self.network.register
         for cid in topology.collectors:
-            self.network.register(cid, self._collector_on_message(cid))
+            register(cid, self._collector_on_message(cid))
             self.broadcast.register_handler(
                 f"feed:{cid}", cid, self._collector_on_feed(cid)
             )
         for gid in topology.governors:
-            self.network.register(gid, self._governor_on_message(gid))
+            register(gid, self._governor_on_message(gid))
             self.broadcast.register_handler("uploads", gid, self._governor_on_upload(gid))
             self.broadcast.register_handler("blocks", gid, self._governor_on_block(gid))
         for pid in topology.providers:
-            self.network.register(pid, lambda message: None)
+            register(pid, lambda message: None)
+        if self.resilience:
+            reliable_groups = {f"feed:{cid}" for cid in topology.collectors}
+            reliable_groups.add("uploads")
+            self.broadcast.set_transport(self.channel, reliable_groups)
+            self.broadcast.enable_gap_repair(
+                primary=SEQUENCER_PRIMARY,
+                backup=SEQUENCER_BACKUP,
+                timeout=4 * max_delay,
+            )
 
         # Per-governor Δ timers: (gid, tx_id) -> scheduled (once).
         self._timers_started: set[tuple[str, str]] = set()
@@ -251,6 +313,137 @@ class NetworkedProtocolEngine:
         if record is not None:
             self._reevaluated_queue[request.tx_id] = record
 
+    # -- fault injection & crash recovery ---------------------------------
+
+    def install_faults(self, plan: FaultPlan) -> FaultInjector:
+        """Run this engine under a seeded fault plan.
+
+        Message faults intercept every send on the engine's network;
+        node faults route through the engine's crash/recovery wiring so
+        a "crash" is a real crash-stop (volatile state lost, churn
+        applied), not just a link cut.  Returns the installed injector
+        (its ``stats`` record what actually fired).
+        """
+        injector = FaultInjector(
+            plan=plan, on_crash=self.crash_node, on_recover=self.recover_node
+        )
+        injector.install(self.network)
+        self.injector = injector
+        return injector
+
+    @property
+    def crashed_nodes(self) -> frozenset[str]:
+        """Nodes currently crash-stopped."""
+        return frozenset(self._crashed)
+
+    def crash_node(self, node_id: str) -> None:
+        """Crash-stop any node, with role-appropriate semantics."""
+        if node_id in self.governors:
+            self.crash_governor(node_id)
+        elif node_id in self.collectors:
+            self.crash_collector(node_id)
+        else:
+            self._crashed.add(node_id)
+            self.network.partition(node_id)
+            self.fault_log.append((self.sim.now, "crash", node_id, 0))
+
+    def recover_node(self, node_id: str) -> None:
+        """Recover a crashed node, with role-appropriate semantics."""
+        if node_id in self.governors:
+            self.recover_governor(node_id)
+        elif node_id in self.collectors:
+            self.recover_collector(node_id)
+        elif node_id in self._crashed:
+            self._crashed.discard(node_id)
+            self.network.heal(node_id)
+            self.fault_log.append((self.sim.now, "recover", node_id, 0))
+
+    def crash_governor(self, gid: str) -> None:
+        """Crash-stop a governor: connectivity cut, volatile state lost.
+
+        The durable ledger replica survives; the in-memory report
+        buffer, its armed Δ timers, and any screened-but-unpacked round
+        records do not.  Idempotent.
+        """
+        if gid in self._crashed:
+            return
+        self._crashed.add(gid)
+        self.network.partition(gid)
+        self.governors[gid].crash_reset()
+        self._round_records[gid].clear()
+        self._timers_started = {k for k in self._timers_started if k[0] != gid}
+        self.fault_log.append((self.sim.now, "crash", gid, 0))
+
+    def recover_governor(self, gid: str) -> None:
+        """Rejoin a crashed governor: ledger sync + broadcast catch-up.
+
+        The governor heals its links, pulls every missed block from the
+        published store (:func:`repro.ledger.sync.sync_replica` — the
+        hash chain authenticates the catch-up), then advances its
+        broadcast delivery cursors past the missed seqnos so buffered
+        later messages flow again.  Uploads it missed entirely are
+        covered by its peers, exactly as the paper's redundancy (m
+        governors screen every transaction) intends.
+        """
+        if gid not in self._crashed:
+            return
+        self._crashed.discard(gid)
+        self.network.heal(gid)
+        synced = sync_replica(self.governors[gid].ledger, self.store)
+        for group in ("uploads", "blocks"):
+            self.broadcast.skip_to(group, gid, self.broadcast.current_seqno(group))
+        self.fault_log.append((self.sim.now, "recover", gid, synced))
+
+    def crash_collector(self, cid: str, retire: bool = True) -> None:
+        """Crash-stop a collector; by default churn it out immediately.
+
+        With ``retire=True`` every governor retires the collector's
+        reputation vector and scrubs its buffered labels (the churn
+        rules); late in-flight uploads from it are then dropped at
+        ingestion.  Idempotent.
+        """
+        if cid in self._crashed:
+            return
+        self._crashed.add(cid)
+        self.network.partition(cid)
+        if retire:
+            for governor in self.governors.values():
+                if governor.book.is_registered(cid):
+                    governor.drop_collector(cid)
+        self.fault_log.append((self.sim.now, "crash", cid, 0))
+
+    def recover_collector(self, cid: str, bootstrap: str = "median") -> None:
+        """Re-admit a recovered collector under the churn rules.
+
+        Its feed cursor skips the transactions broadcast while it was
+        down (they were labelled by its surviving peers), and every
+        governor that retired it re-registers its reputation vector
+        with the ``bootstrap`` weight (median of incumbents by default).
+        """
+        if cid not in self._crashed:
+            return
+        self._crashed.discard(cid)
+        self.network.heal(cid)
+        group = f"feed:{cid}"
+        self.broadcast.skip_to(group, cid, self.broadcast.current_seqno(group))
+        providers = self.topology.providers_of(cid)
+        for governor in self.governors.values():
+            if not governor.book.is_registered(cid):
+                governor.admit_collector(cid, providers, bootstrap=bootstrap)
+        self.fault_log.append((self.sim.now, "recover", cid, 0))
+
+    def _live_leader(self, elected: str) -> str:
+        """Deterministic leader failover: next live governor in order."""
+        if elected not in self._crashed:
+            return elected
+        order = list(self.topology.governors)
+        start = order.index(elected)
+        for offset in range(1, len(order) + 1):
+            candidate = order[(start + offset) % len(order)]
+            if candidate not in self._crashed:
+                return candidate
+        raise SimulationError("all governors are crashed; cannot pack a block")
+
     # -- round execution ----------------------------------------------------
 
     def run_round(self, specs: Sequence[TxSpec]) -> NetworkedRoundResult:
@@ -272,8 +465,10 @@ class NetworkedProtocolEngine:
                 self.transcript.honest_valid_tx.add(tx.tx_id)
             for cid in provider.linked_collectors:
                 self.broadcast.broadcast(f"feed:{cid}", provider.provider_id, tx)
-        # Forgery opportunities: once per collector per round.
+        # Forgery opportunities: once per live collector per round.
         for collector in self.collectors.values():
+            if collector.collector_id in self._crashed:
+                continue
             forged = collector.maybe_forge(timestamp=t0)
             if forged is not None:
                 self.broadcast.broadcast("uploads", collector.collector_id, forged)
@@ -281,11 +476,32 @@ class NetworkedProtocolEngine:
         # Phase 3 trigger: leader packs at the cutoff.
         leader_id = self.election.run(self.stake, round_number)
         packed: dict[str, Block] = {}
+        actual_leader: dict[str, str] = {}
 
         def pack_block() -> None:
-            records = list(self._reevaluated_queue.values()) + self._round_records[
-                leader_id
-            ]
+            # Failover is resolved at pack time: the elected leader may
+            # have crashed mid-round, in which case the next live
+            # governor in the (deterministic, globally known) order
+            # packs instead.
+            live = self._live_leader(leader_id)
+            actual_leader["id"] = live
+            # The leader packs every record it has screened that is not
+            # already on chain — including records carried over from
+            # earlier rounds whose uploads arrived late (retransmits and
+            # reordering can push the Δ timer past that round's cutoff;
+            # destroying those records would silently drop the
+            # transaction forever, defeating reliable delivery).
+            fresh: list[TxRecord] = []
+            seen: set[str] = set()
+            for record in self._round_records[live]:
+                tx_id = record.tx.tx_id
+                if tx_id in self._packed_tx_ids or tx_id in seen:
+                    continue
+                seen.add(tx_id)
+                fresh.append(record)
+            budget = self.params.b_limit - len(self._reevaluated_queue)
+            fresh = fresh[: max(budget, 0)]
+            records = list(self._reevaluated_queue.values()) + fresh
             self._reevaluated_queue.clear()
             # Pack against the canonical published tip.  A leader that
             # somehow lags (e.g. healed from a partition) must extend the
@@ -300,22 +516,34 @@ class NetworkedProtocolEngine:
                 serial=self.store.height + 1,
                 tx_list=tuple(records),
                 prev_hash=prev_hash,
-                proposer=leader_id,
+                proposer=live,
                 round_number=round_number,
                 b_limit=self.params.b_limit,
             )
             self.store.publish(block)
+            for record in records:
+                self._packed_tx_ids.add(record.tx.tx_id)
             packed["block"] = block
-            self.broadcast.broadcast("blocks", leader_id, block)
+            self.broadcast.broadcast("blocks", live, block)
 
         self.sim.schedule_at(cutoff, pack_block, label=f"pack:{round_number}")
         # Drain the round: block dissemination takes one more hop.
         self.sim.run(until=cutoff + self.network.max_delay + 0.001)
+        # Prune every governor's screened records down to the not-yet-
+        # packed ones.  Fault-free this empties the lists exactly like
+        # the old unconditional clear (everything screened this round
+        # was packed this round); under faults it is what carries a
+        # late-screened record to the next leader's pack.
         for gid in self.topology.governors:
-            self._round_records[gid].clear()
+            self._round_records[gid] = [
+                r
+                for r in self._round_records[gid]
+                if r.tx.tx_id not in self._packed_tx_ids
+            ]
         block = packed.get("block")
         if block is None:
             raise SimulationError("leader failed to pack a block")
+        leader_id = actual_leader["id"]
 
         # Phase 4: providers read the block and argue.
         argues_before = self._argues_sent
@@ -345,8 +573,40 @@ class NetworkedProtocolEngine:
             rewards=rewards,
         )
 
+    def drain_recovery(self, grace: float | None = None) -> None:
+        """Let in-flight retransmits and gap repairs complete.
+
+        Runs the simulator for ``grace`` more simulated seconds (default
+        covers several repair round trips).  With resilience on, call
+        before asserting the zero-stuck-gap invariant; a no-op otherwise.
+        """
+        if not self.resilience:
+            return
+        if grace is None:
+            grace = 40 * self.network.max_delay
+        # Several scan/run cycles: a repair NACK (or its answer) can be
+        # crossing a link the moment a crashed endpoint heals, and the
+        # first NACKs for a gap target the primary sequencer, which may
+        # itself be dead — failover only kicks in after repeated
+        # attempts.  The exit test needs both a zero scan (no member
+        # lags its group tip — catches invisible gaps with nothing
+        # buffered behind them) and empty gap buffers.
+        cycles = 6
+        for _ in range(cycles):
+            if (
+                self.broadcast.force_repair_scan() == 0
+                and self.broadcast.pending_gap_total() == 0
+            ):
+                break
+            self.sim.run(until=self.sim.now + grace / cycles)
+
     def finalize(self) -> None:
-        """Reveal all pending unchecked truths (closes the loss books)."""
+        """Reveal all pending unchecked truths (closes the loss books).
+
+        Under resilience, first drains outstanding recovery traffic so
+        no repairable gap survives the run.
+        """
+        self.drain_recovery()
         for governor in self.governors.values():
             for tx_id in list(governor._pending_unchecked):
                 governor.reveal_truth(tx_id, self.oracle)

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError, ProtocolViolationError
 
 __all__ = ["ReputationVector", "ReputationBook"]
@@ -114,6 +116,10 @@ class ReputationBook:
         """All registered collector ids."""
         return self._vectors.keys()
 
+    def is_registered(self, collector: str) -> bool:
+        """Whether ``collector`` currently holds a vector (churn-aware)."""
+        return collector in self._vectors
+
     def weight(self, collector: str, provider: str) -> float:
         """``w_{j,i,k}`` shortcut."""
         return self.vector(collector).weight(provider)
@@ -169,3 +175,55 @@ class ReputationBook:
     def total_weight(self, provider: str, collectors: Iterable[str]) -> float:
         """Sum of weights w.r.t. ``provider`` over ``collectors``."""
         return sum(self.weight(c, provider) for c in collectors)
+
+    # -- membership churn -------------------------------------------------
+
+    def retire_collector(self, collector: str) -> ReputationVector:
+        """Remove a collector's vector (left the alliance / crash-stopped).
+
+        Returns the retired vector so a caller implementing a grace
+        period can hold it aside.
+
+        Raises:
+            ProtocolViolationError: unknown collector.
+        """
+        vector = self.vector(collector)
+        del self._vectors[collector]
+        return vector
+
+    def readmit_collector(
+        self, collector: str, providers: Iterable[str], bootstrap: str = "median"
+    ) -> None:
+        """Re-admit a collector after churn (recovered from a crash).
+
+        The per-provider bootstrap weight follows the same churn rules
+        as :meth:`repro.baselines.base.ReputationPolicy.add_collector`:
+        ``"median"`` inherits the typical incumbent's standing w.r.t.
+        each provider, ``"initial"`` restarts at genesis trust, ``"min"``
+        makes trust be re-earned from the worst incumbent's level.
+
+        Raises:
+            ProtocolViolationError: the collector is still registered.
+            ConfigurationError: unknown bootstrap rule.
+        """
+        if collector in self._vectors:
+            raise ProtocolViolationError(
+                f"collector {collector!r} still registered with {self.governor!r}"
+            )
+        if bootstrap not in ("median", "initial", "min"):
+            raise ConfigurationError(f"unknown bootstrap rule {bootstrap!r}")
+        weights: dict[str, float] = {}
+        for provider in providers:
+            incumbents = [
+                v.provider_weights[provider]
+                for v in self._vectors.values()
+                if provider in v.provider_weights
+            ]
+            if bootstrap == "initial" or not incumbents:
+                weight = self.initial
+            elif bootstrap == "median":
+                weight = float(np.median(incumbents))
+            else:
+                weight = min(incumbents)
+            weights[provider] = max(weight, WEIGHT_FLOOR)
+        self._vectors[collector] = ReputationVector(provider_weights=weights)

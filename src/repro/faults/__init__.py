@@ -1,0 +1,31 @@
+"""Deterministic fault injection for the simulated network.
+
+The paper assumes a synchronous, fault-free substrate; this package
+models the cracks — per-link message loss/duplication/reordering, timed
+crash-stop and crash-recovery node faults, and partition windows — as a
+seeded :class:`FaultPlan` executed by a :class:`FaultInjector` hooked
+into :class:`~repro.network.simnet.SyncNetwork`.  The recovery
+machinery it exercises lives in ``repro.network.reliable`` (ack/
+retransmit channels), ``repro.network.broadcast`` (gap repair with
+sequencer failover), and ``repro.core.netengine`` (crash-recovery
+wiring).
+"""
+
+from repro.faults.injector import FaultInjectionStats, FaultInjector
+from repro.faults.plan import (
+    FaultAction,
+    FaultPlan,
+    LinkFaultSpec,
+    NodeFaultSpec,
+    PartitionWindow,
+)
+
+__all__ = [
+    "FaultAction",
+    "FaultInjectionStats",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFaultSpec",
+    "NodeFaultSpec",
+    "PartitionWindow",
+]

@@ -5,9 +5,15 @@ with the synchrony bound Delta, atomic (total-order) broadcast, and the
 Figure-1 topology builder.
 """
 
-from repro.network.broadcast import AtomicBroadcast, SequencedPayload
+from repro.network.broadcast import AtomicBroadcast, GapRepairRequest, SequencedPayload
 from repro.network.clock import GlobalClock, LocalClock
 from repro.network.events import Event, EventQueue
+from repro.network.reliable import (
+    ReliableAck,
+    ReliableChannel,
+    ReliableEnvelope,
+    ReliableStats,
+)
 from repro.network.simnet import Message, NetworkStats, Simulator, SyncNetwork
 from repro.network.topology import Topology, collector_id, governor_id, provider_id
 from repro.network.visibility import VisibilityMap
@@ -16,10 +22,15 @@ __all__ = [
     "AtomicBroadcast",
     "Event",
     "EventQueue",
+    "GapRepairRequest",
     "GlobalClock",
     "LocalClock",
     "Message",
     "NetworkStats",
+    "ReliableAck",
+    "ReliableChannel",
+    "ReliableEnvelope",
+    "ReliableStats",
     "SequencedPayload",
     "Simulator",
     "SyncNetwork",

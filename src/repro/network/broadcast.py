@@ -20,6 +20,17 @@ arrivals.  :class:`AtomicBroadcast` implements exactly that.  It gives:
 Each broadcast *group* (providers->their collectors, collectors->governors,
 governors->governors) is an independent total order, which is all the
 protocol needs.
+
+Under fault injection (``repro.faults``) a sequenced payload can be
+lost, leaving a receiver blocked on the sequence gap forever.  The
+*gap-repair* extension closes that hole: the sequencer retains a
+bounded send-buffer of recent payloads, a receiver whose gap persists
+past a timeout sends a :class:`GapRepairRequest` (a NACK) to the
+sequencer node, and the sequencer retransmits the missing range.  If
+the primary sequencer node is itself crashed, the receiver fails over
+to a deterministic backup after ``failover_after`` unanswered attempts.
+The manual :meth:`AtomicBroadcast.skip_to` escape hatch remains for
+out-of-band recovery (ledger sync).
 """
 
 from __future__ import annotations
@@ -32,7 +43,7 @@ from typing import Any, Callable
 from repro.exceptions import SimulationError
 from repro.network.simnet import Message, SyncNetwork
 
-__all__ = ["SequencedPayload", "AtomicBroadcast"]
+__all__ = ["SequencedPayload", "GapRepairRequest", "AtomicBroadcast"]
 
 
 @dataclass(frozen=True)
@@ -46,6 +57,17 @@ class SequencedPayload:
     kind: str = "abcast"
 
 
+@dataclass(frozen=True)
+class GapRepairRequest:
+    """A receiver's NACK: re-send ``[from_seqno, to_seqno]`` of ``group``."""
+
+    group: str
+    requester: str
+    from_seqno: int
+    to_seqno: int
+    kind: str = "abcast-nack"
+
+
 @dataclass
 class _ReceiverState:
     """Delivery buffer of one receiver within one group."""
@@ -53,6 +75,10 @@ class _ReceiverState:
     next_seqno: int = 0
     pending: list[tuple[int, int, SequencedPayload, Message]] = field(default_factory=list)
     tiebreak: itertools.count = field(default_factory=itertools.count)
+    # Gap-repair bookkeeping: whether a repair timer is outstanding and
+    # how many NACKs this gap has already cost.
+    repair_scheduled: bool = False
+    repair_attempts: int = 0
 
 
 class AtomicBroadcast:
@@ -63,12 +89,36 @@ class AtomicBroadcast:
     membership is known.
     """
 
-    def __init__(self, network: SyncNetwork):
+    #: How many recent payloads the sequencer retains per group for
+    #: gap repair.  Far larger than any gap a bounded fault plan can
+    #: open; a request below the retention horizon is counted in
+    #: ``repairs_expired`` and the member must fall back to ``skip_to``.
+    DEFAULT_RETENTION = 4096
+
+    def __init__(self, network: SyncNetwork, retention: int = DEFAULT_RETENTION):
         self.network = network
+        self.retention = retention
         self._members: dict[str, list[str]] = {}
         self._deliver: dict[tuple[str, str], Callable[[str, Any], None]] = {}
         self._state: dict[tuple[str, str], _ReceiverState] = {}
         self._next_seqno: dict[str, int] = {}
+        # Sequencer-side retained payloads: group -> {seqno: (payload, size_hint)}.
+        self._sent: dict[str, dict[int, tuple[SequencedPayload, int]]] = {}
+        # Gap repair configuration (enable_gap_repair) and counters.
+        self._repair_primary: str | None = None
+        self._repair_backup: str | None = None
+        self._repair_timeout: float = 0.0
+        self._repair_max_attempts: int = 0
+        self._repair_failover_after: int = 0
+        self.misrouted_dropped = 0
+        self.repairs_requested = 0
+        self.repairs_served = 0
+        self.repairs_expired = 0
+        self.repairs_gave_up = 0
+        # Optional reliable transport (repro.network.reliable) for a
+        # subset of groups; all other groups use plain network.send.
+        self._transport = None
+        self._reliable_groups: set[str] = set()
 
     def create_group(self, group: str, members: list[str]) -> None:
         """Declare a broadcast group with a fixed receiver set."""
@@ -107,8 +157,17 @@ class AtomicBroadcast:
         seqno = self._next_seqno[group]
         self._next_seqno[group] = seqno + 1
         payload = SequencedPayload(group=group, seqno=seqno, sender=sender, body=body)
+        if self._repair_primary is not None:
+            retained = self._sent.setdefault(group, {})
+            retained[seqno] = (payload, size_hint)
+            if len(retained) > self.retention:
+                del retained[min(retained)]
+        reliable = self._transport is not None and group in self._reliable_groups
         for member in self._members[group]:
-            self.network.send(sender, member, payload, size_hint=size_hint)
+            if reliable:
+                self._transport.send(sender, member, payload, size_hint=size_hint)
+            else:
+                self.network.send(sender, member, payload, size_hint=size_hint)
         return seqno
 
     # -- receiver side -------------------------------------------------
@@ -116,9 +175,10 @@ class AtomicBroadcast:
     def on_message(self, member: str, message: Message) -> bool:
         """Feed a raw network message into the broadcast layer.
 
-        Returns True if the message was a broadcast payload for a group
-        this member belongs to (whether delivered now or buffered); False
-        lets the caller route non-broadcast traffic elsewhere.
+        Returns True if the message was handled here: a broadcast
+        payload (delivered, buffered, or — if misrouted to a member
+        outside its group — explicitly dropped and counted); False lets
+        the caller route non-broadcast traffic elsewhere.
         """
         payload = message.payload
         if not isinstance(payload, SequencedPayload):
@@ -126,11 +186,17 @@ class AtomicBroadcast:
         key = (payload.group, member)
         state = self._state.get(key)
         if state is None:
-            return False
+            # A sequenced payload for a group this member does not
+            # belong to must never fall through to the application
+            # handler: fault-injected duplicates or misrouted repairs
+            # would corrupt it.  Drop and count.
+            self.misrouted_dropped += 1
+            return True
         heapq.heappush(
             state.pending, (payload.seqno, next(state.tiebreak), payload, message)
         )
         self._drain(key, state)
+        self._maybe_schedule_repair(key, state)
         return True
 
     def _drain(self, key: tuple[str, str], state: _ReceiverState) -> None:
@@ -165,7 +231,178 @@ class AtomicBroadcast:
             raise SimulationError(f"{member!r} is not a member of group {group!r}")
         if seqno > state.next_seqno:
             state.next_seqno = seqno
+        state.repair_attempts = 0
         self._drain((group, member), state)
+
+    # -- gap repair (NACK / retransmit) ---------------------------------
+
+    def enable_gap_repair(
+        self,
+        primary: str,
+        backup: str | None = None,
+        timeout: float | None = None,
+        max_attempts: int = 16,
+        failover_after: int = 2,
+    ) -> None:
+        """Turn on automatic NACK-based repair of sequence gaps.
+
+        Args:
+            primary: Node id of the sequencer's repair endpoint; it is
+                registered on the network here, so use a dedicated id
+                (not one of the group members).
+            backup: Deterministic failover endpoint; receivers switch to
+                it after ``failover_after`` unanswered NACKs, removing
+                the sequencer as a single point of failure.  In the
+                simulation both endpoints answer from the same retained
+                send-buffer, modelling a sequencer that replicates its
+                buffer to the backup synchronously.
+            timeout: How long a gap must persist before the first NACK
+                (default ``4 * network.max_delay``); also the base of
+                the mildly-exponential re-NACK backoff.
+            max_attempts: NACK budget per gap before the member gives up
+                and waits for out-of-band recovery (``skip_to``).
+            failover_after: Attempts addressed to ``primary`` before
+                failing over to ``backup``.
+        """
+        if timeout is None:
+            timeout = 4 * self.network.max_delay
+        if timeout <= 0:
+            raise SimulationError(f"repair timeout must be positive, got {timeout}")
+        self._repair_primary = primary
+        self._repair_backup = backup
+        self._repair_timeout = timeout
+        self._repair_max_attempts = max_attempts
+        self._repair_failover_after = failover_after
+        self.network.register(primary, self._sequencer_handler(primary))
+        if backup is not None:
+            self.network.register(backup, self._sequencer_handler(backup))
+
+    def set_transport(self, transport, groups: set[str]) -> None:
+        """Route the given groups' broadcasts through a reliable channel.
+
+        ``transport`` must expose ``send(sender, receiver, payload,
+        size_hint)`` — see :class:`repro.network.reliable.ReliableChannel`.
+        """
+        self._transport = transport
+        self._reliable_groups = set(groups)
+
+    def _sequencer_handler(self, seq_id: str):
+        def handle(message: Message) -> None:
+            request = message.payload
+            if not isinstance(request, GapRepairRequest):
+                return
+            retained = self._sent.get(request.group, {})
+            for seqno in range(request.from_seqno, request.to_seqno + 1):
+                entry = retained.get(seqno)
+                if entry is None:
+                    # Evicted past the retention horizon: unrepairable
+                    # here, the member needs ledger sync + skip_to.
+                    self.repairs_expired += 1
+                    continue
+                payload, size_hint = entry
+                self.repairs_served += 1
+                self.network.send(seq_id, request.requester, payload, size_hint=size_hint)
+        return handle
+
+    def _active_repair_target(self, state: _ReceiverState) -> str:
+        assert self._repair_primary is not None
+        if (
+            self._repair_backup is not None
+            and state.repair_attempts >= self._repair_failover_after
+        ):
+            return self._repair_backup
+        return self._repair_primary
+
+    def _gap_head(self, state: _ReceiverState) -> int | None:
+        """Seqno of the oldest buffered-but-undeliverable payload, or None."""
+        if state.pending and state.pending[0][0] > state.next_seqno:
+            return state.pending[0][0]
+        return None
+
+    def _maybe_schedule_repair(self, key: tuple[str, str], state: _ReceiverState) -> None:
+        if self._repair_primary is None or state.repair_scheduled:
+            return
+        if self._gap_head(state) is None:
+            state.repair_attempts = 0
+            return
+        state.repair_scheduled = True
+        group, member = key
+        delay = self._repair_timeout * (1.5 ** min(state.repair_attempts, 8))
+        self.network.sim.schedule_after(
+            delay,
+            lambda: self._repair_check(key),
+            label=f"gap-check:{group}:{member}",
+        )
+
+    def _repair_check(self, key: tuple[str, str]) -> None:
+        state = self._state.get(key)
+        if state is None:
+            return
+        state.repair_scheduled = False
+        head = self._gap_head(state)
+        if head is None:
+            state.repair_attempts = 0
+            return
+        if state.repair_attempts >= self._repair_max_attempts:
+            self.repairs_gave_up += 1
+            return
+        group, member = key
+        target = self._active_repair_target(state)
+        state.repair_attempts += 1
+        self.repairs_requested += 1
+        request = GapRepairRequest(
+            group=group,
+            requester=member,
+            from_seqno=state.next_seqno,
+            to_seqno=head - 1,
+        )
+        self.network.send(member, target, request)
+        # Re-arm: if the retransmission is itself lost (or the target is
+        # crashed), the next check escalates / fails over.
+        self._maybe_schedule_repair(key, state)
+
+    def force_repair_scan(self) -> int:
+        """Issue a NACK for every member lagging the group's seqno.
+
+        Timer-based detection only fires when a *later* payload sits in
+        the buffer; a member whose missing payload was the last one sent
+        has an invisible gap.  Harnesses call this at round/finalize
+        boundaries — a stand-in for the periodic sequencer heartbeat a
+        deployment would run.  Returns the number of NACKs issued.
+        """
+        if self._repair_primary is None:
+            return 0
+        issued = 0
+        for (group, member), state in self._state.items():
+            tip = self._next_seqno[group]
+            if state.next_seqno >= tip:
+                continue
+            target = self._active_repair_target(state)
+            state.repair_attempts += 1
+            self.repairs_requested += 1
+            self.network.send(
+                member,
+                target,
+                GapRepairRequest(
+                    group=group,
+                    requester=member,
+                    from_seqno=state.next_seqno,
+                    to_seqno=tip - 1,
+                ),
+            )
+            issued += 1
+        return issued
+
+    def pending_gap_count(self, group: str, member: str) -> int:
+        """Messages buffered behind a sequence gap for one member."""
+        state = self._state.get((group, member))
+        if state is None:
+            raise SimulationError(f"{member!r} is not a member of group {group!r}")
+        return len(state.pending)
+
+    def pending_gap_total(self) -> int:
+        """Messages stuck in gap buffers across every group and member."""
+        return sum(len(state.pending) for state in self._state.values())
 
     def current_seqno(self, group: str) -> int:
         """The next sequence number the group will assign."""

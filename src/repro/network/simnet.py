@@ -50,6 +50,7 @@ class NetworkStats:
 
     messages_sent: int = 0
     bytes_sent: int = 0
+    messages_dropped: int = 0
     messages_by_kind: dict[str, int] = field(default_factory=dict)
     latencies: list[float] = field(default_factory=list)
 
@@ -60,6 +61,16 @@ class NetworkStats:
         self.latencies.append(message.latency)
         kind = getattr(message.payload, "kind", type(message.payload).__name__)
         self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + 1
+
+    def record_drop(self) -> None:
+        """Account for one message that was dropped before delivery.
+
+        Dropped messages never contribute to ``messages_sent``,
+        ``bytes_sent`` or the latency percentiles — they never crossed
+        the wire, so counting them would inflate the complexity
+        experiments (E7) and skew latency tails.
+        """
+        self.messages_dropped += 1
 
     def latency_percentile(self, q: float) -> float:
         """The q-th latency percentile (q in [0, 100]) over sent messages.
@@ -174,6 +185,12 @@ class SyncNetwork:
         # delivery, used to enforce FIFO per channel.
         self._channel_front: dict[tuple[str, str], float] = {}
         self._partitioned: set[str] = set()
+        # Optional fault-interception hook (see repro.faults): called as
+        # fault_filter(sender, receiver, payload) and may return an
+        # object with ``drop`` / ``duplicates`` / ``extra_delay``
+        # attributes.  None (no hook, or the hook declines) means
+        # deliver normally.
+        self.fault_filter: Callable[[str, str, Any], Any] | None = None
 
     def register(self, node_id: str, handler: Callable[[Message], None]) -> None:
         """Attach a node's message handler; overwrites any previous one."""
@@ -200,10 +217,25 @@ class SyncNetwork:
         """Send one message; delivery is scheduled on the event loop.
 
         Dropped silently if either endpoint is partitioned — the sender
-        cannot tell, exactly as with a real crash fault.
+        cannot tell, exactly as with a real crash fault.  Dropped
+        messages (partition or fault injection) are counted in
+        ``stats.messages_dropped`` and never in the sent counters.
         """
         if receiver not in self._handlers:
             raise SimulationError(f"no handler registered for receiver {receiver!r}")
+        if sender in self._partitioned or receiver in self._partitioned:
+            self.stats.record_drop()
+            return
+        action = (
+            self.fault_filter(sender, receiver, payload)
+            if self.fault_filter is not None
+            else None
+        )
+        if action is not None and getattr(action, "drop", False):
+            self.stats.record_drop()
+            return
+        copies = 1 + (int(getattr(action, "duplicates", 0)) if action is not None else 0)
+        extra_delay = float(getattr(action, "extra_delay", 0.0)) if action is not None else 0.0
         now = self.sim.now
         delay = self._draw_delay()
         if delay > self.max_delay:
@@ -216,17 +248,36 @@ class SyncNetwork:
         front = self._channel_front.get(key, 0.0)
         deliver_at = max(deliver_at, front)
         self._channel_front[key] = deliver_at
-        message = Message(
-            sender=sender, receiver=receiver, payload=payload,
-            sent_at=now, deliver_at=deliver_at,
-        )
-        self.stats.record(message, size_hint)
-        if sender in self._partitioned or receiver in self._partitioned:
+        # Injected extra delay is applied AFTER the FIFO bookkeeping, so
+        # later sends on the channel may overtake this one — that is the
+        # reordering fault.  It intentionally escapes the synchrony
+        # bound: faults model exactly the failures the paper assumes
+        # away.
+        deliver_at += extra_delay
+        for copy in range(copies):
+            at = deliver_at if copy == 0 else deliver_at + copy * self._draw_delay()
+            message = Message(
+                sender=sender, receiver=receiver, payload=payload,
+                sent_at=now, deliver_at=at,
+            )
+            self.stats.record(message, size_hint)
+            self.sim.schedule_at(
+                at,
+                lambda m=message: self._deliver(m),
+                label=f"deliver:{sender}->{receiver}",
+            )
+
+    def _deliver(self, message: Message) -> None:
+        """Hand a message to its receiver — unless it crashed in flight.
+
+        Partition state is re-checked at delivery time: a receiver that
+        crashed after the send loses the in-flight message (a sender
+        crash does not destroy packets already on the wire).
+        """
+        if message.receiver in self._partitioned:
+            self.stats.record_drop()
             return
-        handler = self._handlers[receiver]
-        self.sim.schedule_at(
-            deliver_at, lambda: handler(message), label=f"deliver:{sender}->{receiver}"
-        )
+        self._handlers[message.receiver](message)
 
     def multicast(self, sender: str, receivers: list[str], payload: Any, size_hint: int = 1) -> None:
         """Send the same payload to each receiver (independent delays)."""

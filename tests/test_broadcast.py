@@ -125,3 +125,174 @@ class TestTotalOrder:
         net.send("y", "x", "raw-payload")
         sim.run()
         assert other == ["raw-payload"]
+
+
+class TestMisroutedPayloads:
+    def test_foreign_group_payload_dropped_not_passed_through(self):
+        """A SequencedPayload for a group the member is not in must be
+        consumed (and counted) by the broadcast layer, never handed to
+        the application's non-broadcast route."""
+        from repro.network.broadcast import SequencedPayload
+
+        sim, net, ab, delivered = build()
+        other = []
+
+        def route(msg):
+            if not ab.on_message("x", msg):
+                other.append(msg.payload)
+
+        net.register("x", route)
+        foreign = SequencedPayload(group="nope", seqno=0, sender="y", body="evil")
+        net.send("y", "x", foreign)
+        sim.run()
+        assert other == []
+        assert delivered["x"] == []
+        assert ab.misrouted_dropped == 1
+
+    def test_nonmember_of_known_group_also_dropped(self):
+        from repro.network.broadcast import SequencedPayload
+
+        sim, net, ab, _delivered = build()
+        ab.create_group("H", ["y"])
+        other = []
+
+        def route(msg):
+            if not ab.on_message("x", msg):
+                other.append(msg.payload)
+
+        net.register("x", route)
+        net.send("y", "x", SequencedPayload(group="H", seqno=0, sender="y", body=1))
+        sim.run()
+        assert other == []
+        assert ab.misrouted_dropped == 1
+
+
+class TestGapRepair:
+    def build_repair(self, members=("x", "y", "z"), **kwargs):
+        sim = Simulator(seed=0)
+        net = SyncNetwork(sim, min_delay=0.0, max_delay=0.05, seed=3)
+        ab = AtomicBroadcast(net)
+        ab.create_group("G", list(members))
+        delivered = {m: [] for m in members}
+        for m in members:
+            net.register(m, lambda msg, m=m: ab.on_message(m, msg))
+            ab.register_handler(
+                "G", m, lambda sender, body, m=m: delivered[m].append(body)
+            )
+        ab.enable_gap_repair("seq0", backup="seq1", **kwargs)
+        return sim, net, ab, delivered
+
+    def test_lost_payload_repaired_via_nack(self):
+        sim, net, ab, delivered = self.build_repair()
+        # Drop exactly the first broadcast payload sent to z.
+        dropped = {"n": 0}
+
+        def drop_first_to_z(sender, receiver, payload):
+            from repro.faults.plan import FaultAction
+            from repro.network.broadcast import SequencedPayload
+
+            if (
+                receiver == "z"
+                and isinstance(payload, SequencedPayload)
+                and dropped["n"] == 0
+            ):
+                dropped["n"] += 1
+                return FaultAction(drop=True)
+            return None
+
+        net.fault_filter = drop_first_to_z
+        ab.broadcast("G", "x", "m0")
+        ab.broadcast("G", "x", "m1")  # reveals the gap at z
+        sim.run()
+        assert delivered["z"] == ["m0", "m1"]
+        assert ab.repairs_requested >= 1
+        assert ab.repairs_served >= 1
+        assert ab.pending_gap_total() == 0
+
+    def test_repair_timeout_required_positive(self):
+        sim = Simulator(seed=0)
+        net = SyncNetwork(sim)
+        ab = AtomicBroadcast(net)
+        with pytest.raises(SimulationError):
+            ab.enable_gap_repair("seq0", timeout=0.0)
+
+    def test_sequencer_failover_to_backup(self):
+        sim, net, ab, delivered = self.build_repair(failover_after=1)
+        net.partition("seq0")  # primary sequencer endpoint is dead
+        dropped = {"n": 0}
+
+        def drop_first_to_z(sender, receiver, payload):
+            from repro.faults.plan import FaultAction
+            from repro.network.broadcast import SequencedPayload
+
+            if (
+                receiver == "z"
+                and isinstance(payload, SequencedPayload)
+                and dropped["n"] == 0
+            ):
+                dropped["n"] += 1
+                return FaultAction(drop=True)
+            return None
+
+        net.fault_filter = drop_first_to_z
+        ab.broadcast("G", "x", "m0")
+        ab.broadcast("G", "x", "m1")
+        sim.run()
+        # First NACK died with the primary; the retry failed over.
+        assert delivered["z"] == ["m0", "m1"]
+        assert ab.repairs_requested >= 2
+        assert ab.pending_gap_total() == 0
+
+    def test_gap_closed_by_duplicate_needs_no_repair(self):
+        sim, net, ab, delivered = self.build_repair()
+        ab.broadcast("G", "x", "m0")
+        sim.run()
+        assert ab.repairs_requested == 0
+
+    def test_force_repair_scan_finds_invisible_gap(self):
+        """A member whose *last* payload was lost has nothing buffered —
+        timer detection is blind, the scan is not."""
+        sim, net, ab, delivered = self.build_repair()
+
+        def drop_abcast_to_z(sender, receiver, payload):
+            from repro.faults.plan import FaultAction
+            from repro.network.broadcast import SequencedPayload
+
+            if receiver == "z" and isinstance(payload, SequencedPayload):
+                return FaultAction(drop=True)
+            return None
+
+        net.fault_filter = drop_abcast_to_z
+        ab.broadcast("G", "x", "m0")
+        sim.run()
+        assert delivered["z"] == []
+        net.fault_filter = None  # link heals
+        assert ab.force_repair_scan() == 1
+        sim.run()
+        assert delivered["z"] == ["m0"]
+
+    def test_retention_eviction_counts_expired(self):
+        sim = Simulator(seed=0)
+        net = SyncNetwork(sim, min_delay=0.0, max_delay=0.05, seed=3)
+        ab = AtomicBroadcast(net, retention=2)
+        ab.create_group("G", ["z"])
+        got = []
+        net.register("z", lambda msg: ab.on_message("z", msg))
+        ab.register_handler("G", "z", lambda s, b: got.append(b))
+        ab.enable_gap_repair("seq0")
+        net.partition("z")
+        for i in range(5):
+            ab.broadcast("G", "x", f"m{i}")
+        sim.run()
+        net.heal("z")
+        assert ab.force_repair_scan() == 1
+        sim.run()
+        # Only the last two payloads survive retention; requests for the
+        # evicted prefix are counted (the member re-NACKs until its
+        # attempt budget runs dry), delivery stays blocked until a
+        # skip_to (out-of-band sync) clears the gap.
+        assert ab.repairs_expired >= 3
+        assert got == []
+        ab.skip_to("G", "z", 3)
+        sim.run()
+        assert got == ["m3", "m4"]

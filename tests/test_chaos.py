@@ -1,0 +1,196 @@
+"""Chaos harness: the protocol under seeded fault plans (E12).
+
+The acceptance bar for the fault subsystem: under per-link message
+loss, duplication, reordering, a governor crash-recovery, and a
+sequencer failover, a full multi-round networked run must complete with
+
+* **agreement** — all live governors hold identical ledger prefixes
+  (and, after recovery drains, identical heights);
+* **Lemma 2 intact** — the measured unchecked rate stays <= f;
+* **no stuck gaps** — zero messages left in broadcast gap buffers at
+  finalize (every repairable gap was repaired).
+
+One fast seeded smoke run stays in the tier-1 suite; the heavier
+schedules carry the ``chaos`` marker.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents.behaviors import ConcealBehavior, MisreportBehavior
+from repro.core.netengine import (
+    SEQUENCER_PRIMARY,
+    NetworkedProtocolEngine,
+)
+from repro.core.params import ProtocolParams
+from repro.faults import FaultPlan, LinkFaultSpec
+from repro.ledger.chain import check_agreement
+from repro.network.topology import Topology
+from repro.workloads.generator import BernoulliWorkload
+
+
+def build_engine(seed=0, f=0.6, behaviors=None, resilience=True):
+    topo = Topology.regular(l=8, n=4, m=3, r=2)
+    engine = NetworkedProtocolEngine(
+        topo,
+        ProtocolParams(f=f, delta=0.2),
+        behaviors=behaviors,
+        seed=seed,
+        resilience=resilience,
+    )
+    return engine, topo
+
+
+def lossy_plan(seed=0, loss=0.10):
+    return FaultPlan(seed=seed).with_default_link(
+        LinkFaultSpec(loss=loss, duplicate=0.05, reorder=0.05, reorder_delay=0.1)
+    )
+
+
+def run_rounds(engine, topo, rounds, per_round=8, p_valid=0.85, seed=1):
+    workload = BernoulliWorkload(topo.providers, p_valid=p_valid, seed=seed)
+    for _ in range(rounds):
+        engine.run_round(workload.take(per_round))
+
+
+def assert_safety(engine, f):
+    """The three chaos invariants (agreement, Lemma 2, no stuck gaps)."""
+    live = [g for g in engine.governors.values() if g.governor_id not in engine.crashed_nodes]
+    check_agreement([g.ledger for g in live])
+    for gov in live:
+        assert gov.ledger.height == engine.store.height, gov.governor_id
+    screened = sum(g.metrics.transactions_screened for g in live)
+    unchecked = sum(g.metrics.unchecked for g in live)
+    assert screened > 0
+    assert unchecked / screened <= f, f"unchecked rate {unchecked/screened} > f={f}"
+    assert engine.broadcast.pending_gap_total() == 0
+
+
+class TestChaosSmoke:
+    """Fast seeded smoke run — stays in the tier-1 suite."""
+
+    def test_lossy_run_completes_and_stays_safe(self):
+        engine, topo = build_engine(seed=20)
+        engine.install_faults(lossy_plan(seed=21))
+        run_rounds(engine, topo, rounds=4, seed=22)
+        engine.finalize()
+        assert_safety(engine, f=0.6)
+        assert engine.injector.stats.dropped > 0  # the plan actually bit
+        assert engine.store.height == 4
+
+
+@pytest.mark.chaos
+class TestGovernorCrashRecovery:
+    def test_crash_recover_rejoins_and_agrees(self):
+        engine, topo = build_engine(seed=30)
+        plan = lossy_plan(seed=31).with_crash("g1", at=0.5, recover_at=1.6)
+        engine.install_faults(plan)
+        run_rounds(engine, topo, rounds=6, seed=32)
+        engine.finalize()
+        assert engine.injector.stats.crashes == 1
+        assert engine.injector.stats.recoveries == 1
+        # The recovered governor synced its missed blocks from the store.
+        synced = [n for (_t, kind, node, n) in engine.fault_log if kind == "recover"]
+        assert synced and synced[0] >= 1
+        assert "g1" not in engine.crashed_nodes
+        assert_safety(engine, f=0.6)
+
+    def test_crashed_leader_fails_over(self):
+        engine, topo = build_engine(seed=40)
+        # Crash every governor's turn will eventually hit the elected
+        # leader; crash g0 across rounds 1-3 to force at least one
+        # failover window, then recover it.
+        plan = FaultPlan(seed=41).with_crash("g0", at=0.1, recover_at=1.3)
+        engine.install_faults(plan)
+        run_rounds(engine, topo, rounds=5, seed=42)
+        engine.finalize()
+        # No round may be packed by a governor that was crashed at pack
+        # time; every block's proposer was live.
+        for serial in range(1, engine.store.height + 1):
+            assert engine.store.retrieve(serial).proposer in engine.governors
+        assert engine.store.height == 5
+        assert_safety(engine, f=0.6)
+
+
+@pytest.mark.chaos
+class TestSequencerFailover:
+    def test_primary_sequencer_crash_repairs_via_backup(self):
+        engine, topo = build_engine(seed=50)
+        plan = lossy_plan(seed=51).with_crash(SEQUENCER_PRIMARY, at=0.3)
+        engine.install_faults(plan)
+        run_rounds(engine, topo, rounds=6, seed=52)
+        engine.finalize()
+        # Gaps opened by 10% loss still all closed with the primary dead.
+        assert engine.broadcast.pending_gap_total() == 0
+        assert_safety(engine, f=0.6)
+
+
+@pytest.mark.chaos
+class TestCollectorChurn:
+    def test_collector_crash_is_retired_and_readmitted(self):
+        behaviors = {"c0": MisreportBehavior(0.3), "c1": ConcealBehavior(0.3)}
+        engine, topo = build_engine(seed=60, behaviors=behaviors)
+        plan = lossy_plan(seed=61).with_crash("c2", at=0.5, recover_at=1.6)
+        engine.install_faults(plan)
+        run_rounds(engine, topo, rounds=6, seed=62)
+        engine.finalize()
+        # Re-admitted everywhere with a bootstrapped vector.
+        for gov in engine.governors.values():
+            assert gov.book.is_registered("c2")
+        assert "c2" not in engine.crashed_nodes
+        assert_safety(engine, f=0.6)
+
+    def test_retired_collector_labels_are_scrubbed(self):
+        engine, topo = build_engine(seed=70)
+        engine.install_faults(FaultPlan(seed=71))  # clean links, manual crash
+        workload = BernoulliWorkload(topo.providers, p_valid=0.9, seed=72)
+        engine.run_round(workload.take(8))
+        engine.crash_collector("c0")
+        for gov in engine.governors.values():
+            assert not gov.book.is_registered("c0")
+            assert all("c0" not in linked for linked in gov._linked.values())
+        engine.run_round(workload.take(8))  # screening must not blow up
+        engine.recover_collector("c0")
+        for gov in engine.governors.values():
+            assert gov.book.is_registered("c0")
+        engine.run_round(workload.take(8))
+        engine.finalize()
+        assert_safety(engine, f=0.6)
+
+
+@pytest.mark.chaos
+class TestAcceptanceScenario:
+    """The ISSUE's combined bar: 10% loss + governor crash-recovery +
+    sequencer failover in one seeded multi-round run."""
+
+    def test_full_fault_plan_run(self):
+        engine, topo = build_engine(seed=80, f=0.6)
+        plan = (
+            lossy_plan(seed=81, loss=0.10)
+            .with_crash("g2", at=0.6, recover_at=1.8)
+            .with_crash(SEQUENCER_PRIMARY, at=1.0)
+        )
+        engine.install_faults(plan)
+        run_rounds(engine, topo, rounds=8, per_round=8, seed=82)
+        engine.finalize()
+        assert engine.store.height == 8
+        assert engine.injector.stats.dropped > 0
+        assert engine.injector.stats.crashes == 2
+        assert engine.injector.stats.recoveries == 1
+        assert_safety(engine, f=0.6)
+
+    def test_seeded_chaos_is_deterministic(self):
+        def tip_hashes(run_seed):
+            engine, topo = build_engine(seed=run_seed)
+            engine.install_faults(
+                lossy_plan(seed=90).with_crash("g1", at=0.5, recover_at=1.5)
+            )
+            run_rounds(engine, topo, rounds=4, seed=91)
+            engine.finalize()
+            return [
+                engine.store.retrieve(s).hash()
+                for s in range(1, engine.store.height + 1)
+            ]
+
+        assert tip_hashes(7) == tip_hashes(7)

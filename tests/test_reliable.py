@@ -1,0 +1,147 @@
+"""Unit tests for the ack/retransmit reliable channel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.faults import FaultPlan, FaultInjector, LinkFaultSpec
+from repro.faults.plan import FaultAction
+from repro.network.reliable import ReliableChannel, ReliableEnvelope
+from repro.network.simnet import Simulator, SyncNetwork
+
+
+def make_channel(max_retries=4, seed=0):
+    sim = Simulator(seed=seed)
+    net = SyncNetwork(sim, min_delay=0.01, max_delay=0.05, seed=seed + 1)
+    channel = ReliableChannel(net, max_retries=max_retries)
+    return sim, net, channel
+
+
+class TestConstruction:
+    def test_bad_timeout_rejected(self):
+        sim = Simulator()
+        net = SyncNetwork(sim)
+        with pytest.raises(SimulationError):
+            ReliableChannel(net, base_timeout=0.0)
+        with pytest.raises(SimulationError):
+            ReliableChannel(net, backoff=0.5)
+
+
+class TestCleanDelivery:
+    def test_payload_unwrapped_and_acked(self):
+        sim, net, channel = make_channel()
+        got = []
+        channel.register("a", lambda m: None)
+        channel.register("b", got.append)
+        channel.send("a", "b", {"hello": 1})
+        sim.run()
+        assert [m.payload for m in got] == [{"hello": 1}]
+        assert channel.stats.delivered == 1
+        assert channel.stats.acks_sent == 1
+        assert channel.unacked == 0
+        assert channel.stats.retransmits == 0
+
+    def test_plain_traffic_passes_through(self):
+        sim, net, channel = make_channel()
+        got = []
+        channel.register("b", got.append)
+        net.send("a", "b", "raw")
+        sim.run()
+        assert [m.payload for m in got] == ["raw"]
+        assert channel.stats.delivered == 0  # not channel traffic
+
+    def test_handler_sees_original_timing_metadata(self):
+        sim, net, channel = make_channel()
+        got = []
+        channel.register("a", lambda m: None)
+        channel.register("b", got.append)
+        channel.send("a", "b", "x")
+        sim.run()
+        (message,) = got
+        assert message.sender == "a"
+        assert message.receiver == "b"
+        assert not isinstance(message.payload, ReliableEnvelope)
+
+
+class TestLossRecovery:
+    def test_retransmit_until_delivered(self):
+        sim, net, channel = make_channel()
+        got = []
+        channel.register("a", lambda m: None)
+        channel.register("b", got.append)
+        # Drop the first two envelope transmissions, then let traffic flow.
+        dropped = {"n": 0}
+
+        def drop_first_two(sender, receiver, payload):
+            if isinstance(payload, ReliableEnvelope) and dropped["n"] < 2:
+                dropped["n"] += 1
+                return FaultAction(drop=True)
+            return None
+
+        net.fault_filter = drop_first_two
+        channel.send("a", "b", "persistent")
+        sim.run()
+        assert [m.payload for m in got] == ["persistent"]
+        assert channel.stats.retransmits == 2
+        assert channel.unacked == 0
+
+    def test_ack_loss_causes_dup_which_is_suppressed(self):
+        sim, net, channel = make_channel()
+        got = []
+        channel.register("a", lambda m: None)
+        channel.register("b", got.append)
+        dropped = {"n": 0}
+
+        def drop_first_ack(sender, receiver, payload):
+            if getattr(payload, "kind", None) == "rel-ack" and dropped["n"] == 0:
+                dropped["n"] += 1
+                return FaultAction(drop=True)
+            return None
+
+        net.fault_filter = drop_first_ack
+        channel.send("a", "b", "once")
+        sim.run()
+        # Envelope delivered, ack lost, sender retransmits, receiver
+        # suppresses the duplicate and re-acks.
+        assert [m.payload for m in got] == ["once"]
+        assert channel.stats.duplicates_suppressed >= 1
+        assert channel.unacked == 0
+
+    def test_injected_duplicates_suppressed(self):
+        sim, net, channel = make_channel()
+        got = []
+        channel.register("a", lambda m: None)
+        channel.register("b", got.append)
+        plan = FaultPlan(seed=3).with_default_link(LinkFaultSpec(duplicate=1.0))
+        FaultInjector(plan=plan).install(net)
+        channel.send("a", "b", "x")
+        sim.run()
+        assert [m.payload for m in got] == ["x"]
+        assert channel.stats.duplicates_suppressed >= 1
+
+    def test_bounded_retries_give_up(self):
+        sim, net, channel = make_channel(max_retries=3)
+        got = []
+        channel.register("a", lambda m: None)
+        channel.register("b", got.append)
+        net.partition("b")
+        channel.send("a", "b", "doomed")
+        sim.run()
+        assert got == []
+        assert channel.stats.gave_up == 1
+        assert channel.stats.retransmits == 3
+        assert channel.unacked == 0  # sender state released
+
+    def test_delivery_under_heavy_seeded_loss(self):
+        sim, net, channel = make_channel(max_retries=6)
+        got = []
+        channel.register("a", lambda m: None)
+        channel.register("b", got.append)
+        FaultInjector(plan=FaultPlan(seed=11).with_loss(0.4)).install(net)
+        for i in range(50):
+            channel.send("a", "b", i)
+        sim.run()
+        # 40% loss with 6 retries: effectively certain delivery of all 50.
+        assert sorted(m.payload for m in got) == list(range(50))
+        assert channel.stats.retransmits > 0

@@ -202,3 +202,47 @@ class TestLatencyStats:
         net.send("a", "b", "x")
         with pytest.raises(SimulationError):
             net.stats.latency_percentile(101)
+
+
+class TestDropAccounting:
+    """Satellite fix: drops must not inflate the sent counters."""
+
+    def make(self):
+        sim = Simulator(seed=0)
+        net = SyncNetwork(sim, min_delay=0.01, max_delay=0.05, seed=7)
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: None)
+        return sim, net
+
+    def test_partition_drop_counted_separately(self):
+        sim, net = self.make()
+        net.partition("b")
+        net.send("a", "b", "x", size_hint=10)
+        assert net.stats.messages_dropped == 1
+        assert net.stats.messages_sent == 0
+        assert net.stats.bytes_sent == 0
+        assert net.stats.latencies == []
+        assert net.stats.messages_by_kind == {}
+
+    def test_latency_percentiles_unaffected_by_drops(self):
+        sim, net = self.make()
+        net.send("a", "b", "ok")
+        sim.run()  # deliver before the crash: in-flight messages die with it
+        net.partition("b")
+        for _ in range(5):
+            net.send("a", "b", "lost")
+        sim.run()
+        assert net.stats.messages_sent == 1
+        assert net.stats.messages_dropped == 5
+        assert len(net.stats.latencies) == 1
+
+    def test_mixed_sent_and_dropped(self):
+        sim, net = self.make()
+        net.send("a", "b", "one")
+        net.partition("a")
+        net.send("a", "b", "two")
+        net.heal("a")
+        net.send("a", "b", "three")
+        sim.run()
+        assert net.stats.messages_sent == 2
+        assert net.stats.messages_dropped == 1
