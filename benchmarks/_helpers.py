@@ -1,15 +1,26 @@
 """Shared helpers for the benchmark harness.
 
-Each bench regenerates one experiment from DESIGN.md's index (E1-E11),
-prints the paper-style table, and writes it under
-``benchmarks/results/`` so EXPERIMENTS.md can be refreshed from disk.
+Each bench regenerates one experiment from DESIGN.md's index (E1-E12),
+prints the paper-style table, and persists it twice under
+``benchmarks/results/``:
+
+* ``<name>.txt`` — the aligned monospace table, diff-able into
+  EXPERIMENTS.md (unchanged format);
+* ``BENCH_<name>.json`` — a schema-versioned machine-readable twin
+  (``repro.bench.v1``) holding the same rows as typed values, plus any
+  structured metrics the bench passes and, optionally, a full
+  observability snapshot (see OBSERVABILITY.md for the schema).
+
 Timing is reported by pytest-benchmark; the tables are the scientific
-output.
+output.  The JSON twin carries no timestamps so reruns with the same
+seeds are byte-identical.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+import re
 
 from repro.agents.behaviors import (
     AlwaysInvertBehavior,
@@ -17,17 +28,133 @@ from repro.agents.behaviors import (
     HonestBehavior,
     MisreportBehavior,
 )
+from repro.obs import snapshot
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: Version tag stamped into every BENCH_*.json. Bump on breaking schema
+#: changes and document the migration in OBSERVABILITY.md.
+BENCH_SCHEMA = "repro.bench.v1"
 
-def emit(name: str, title: str, table: str) -> None:
-    """Print an experiment table and persist it under results/."""
+#: A table rule line: runs of dashes separated by the two-space column
+#: gap that :func:`repro.analysis.reporting.format_table` emits.
+_RULE_RE = re.compile(r"^ *-+(?:  +-+)* *$")
+
+
+def _coerce(cell: str):
+    """Best-effort typed value for one table cell.
+
+    ``yes``/``no`` (how ``format_table`` renders booleans) become
+    booleans, numerics (including ``1,234.5`` and ``9.61e+01``) become
+    int/float, everything else stays a string.
+    """
+    if cell == "yes":
+        return True
+    if cell == "no":
+        return False
+    raw = cell.replace(",", "")
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        return cell
+
+
+def _column_spans(rule: str) -> list[tuple[int, int]]:
+    return [(m.start(), m.end()) for m in re.finditer(r"-+", rule)]
+
+
+def _slice_row(line: str, spans: list[tuple[int, int]]) -> list[str]:
+    """Cut one table line at the rule's column boundaries.
+
+    Cells are right-justified, so each cell lives in
+    ``(previous column's end, this column's end]``; slicing there is
+    robust even when a cell's text contains single spaces.
+    """
+    cells = []
+    prev_end = 0
+    for i, (_start, end) in enumerate(spans):
+        hi = len(line) if i == len(spans) - 1 else end
+        cells.append(line[prev_end:hi].strip())
+        prev_end = hi
+    return cells
+
+
+def parse_tables(text: str) -> list[dict]:
+    """Parse ``format_table`` output (possibly several captioned tables).
+
+    Returns a list of ``{"caption", "columns", "rows"}`` dicts where
+    each row is a column-name -> typed-value mapping.  A table is a
+    header line followed by a dash rule; any non-blank line immediately
+    preceding the header (e.g. ``-- loss sweep --``) is its caption.
+    """
+    lines = text.split("\n")
+    tables: list[dict] = []
+    caption: str | None = None
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        nxt = lines[i + 1] if i + 1 < len(lines) else ""
+        if line.strip() and "-" in nxt and _RULE_RE.match(nxt):
+            spans = _column_spans(nxt)
+            columns = _slice_row(line, spans)
+            rows = []
+            i += 2
+            while i < len(lines) and lines[i].strip():
+                cells = [_coerce(c) for c in _slice_row(lines[i], spans)]
+                rows.append(dict(zip(columns, cells, strict=True)))
+                i += 1
+            tables.append({"caption": caption, "columns": columns, "rows": rows})
+            caption = None
+        else:
+            if line.strip():
+                caption = line.strip()
+            i += 1
+    return tables
+
+
+def emit(
+    name: str,
+    title: str,
+    table: str,
+    metrics: dict | None = None,
+    registry=None,
+) -> None:
+    """Print an experiment table and persist both result files.
+
+    Args:
+        name: Experiment id, e.g. ``"E12_faults"``; names the files.
+        title: Human-readable headline written atop the .txt file.
+        table: The ``format_table`` text (captions allowed between
+            tables); parsed into the JSON twin's ``tables`` field.
+        metrics: Optional structured per-scenario values the bench
+            computed directly (richer types than the rendered cells).
+        registry: Optional :class:`repro.obs.MetricsRegistry`; when
+            given, its full :func:`repro.obs.snapshot` is embedded under
+            ``"observability"``.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     text = f"{title}\n{table}\n"
     print()
     print(text)
     (RESULTS_DIR / f"{name}.txt").write_text(text)
+
+    doc: dict = {
+        "schema": BENCH_SCHEMA,
+        "name": name,
+        "title": title,
+        "tables": parse_tables(table),
+    }
+    if metrics is not None:
+        doc["metrics"] = metrics
+    if registry is not None:
+        doc["observability"] = snapshot(registry)
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def standard_adversary_mix():

@@ -26,6 +26,7 @@ from repro.core.regret import theorem4_bound
 from repro.faults import FaultPlan, LinkFaultSpec
 from repro.ledger.chain import check_agreement
 from repro.network.topology import Topology
+from repro.obs import MetricsRegistry
 from repro.workloads.generator import BernoulliWorkload
 
 F = 0.6
@@ -34,7 +35,7 @@ ROUNDS = 10
 PER_ROUND = 8
 
 
-def _build(seed: int):
+def _build(seed: int, obs: MetricsRegistry | None = None):
     topo = Topology.regular(l=8, n=4, m=3, r=2)
     behaviors = {"c0": MisreportBehavior(0.4), "c1": ConcealBehavior(0.4)}
     engine = NetworkedProtocolEngine(
@@ -43,6 +44,7 @@ def _build(seed: int):
         behaviors=behaviors,
         seed=seed,
         resilience=True,
+        obs=obs,
     )
     return engine, topo
 
@@ -76,11 +78,12 @@ def _unchecked_rate(engine) -> float:
     return sum(g.metrics.unchecked for g in live) / max(screened, 1)
 
 
-def _loss_sweep_table() -> tuple[str, bool]:
+def _loss_sweep_table(obs: MetricsRegistry) -> tuple[str, bool, list[dict]]:
     rows = []
+    structured = []
     all_ok = True
     for loss in (0.0, 0.05, 0.10):
-        engine, topo = _build(seed=120)
+        engine, topo = _build(seed=120, obs=obs)
         plan = FaultPlan(seed=121).with_default_link(
             LinkFaultSpec(
                 loss=loss,
@@ -105,6 +108,20 @@ def _loss_sweep_table() -> tuple[str, bool]:
             and engine.broadcast.pending_gap_total() == 0
         )
         all_ok = all_ok and ok
+        structured.append(
+            {
+                "link_loss": loss,
+                "drops": engine.injector.stats.dropped,
+                "retransmits": engine.channel.stats.retransmits,
+                "repairs_served": engine.broadcast.repairs_served,
+                "agreement": _agreement(engine),
+                "unchecked_rate": rate,
+                "max_expected_loss": loss_t,
+                "theorem4_bound": bound,
+                "stuck_gaps": engine.broadcast.pending_gap_total(),
+                "ok": ok,
+            }
+        )
         rows.append(
             (
                 f"{loss:.0%}",
@@ -136,10 +153,10 @@ def _loss_sweep_table() -> tuple[str, bool]:
         ],
         rows,
     )
-    return table, all_ok
+    return table, all_ok, structured
 
 
-def _crash_schedule_table() -> tuple[str, bool]:
+def _crash_schedule_table(obs: MetricsRegistry) -> tuple[str, bool, list[dict]]:
     scenarios = [
         (
             "governor crash-recovery",
@@ -162,9 +179,10 @@ def _crash_schedule_table() -> tuple[str, bool]:
         ),
     ]
     rows = []
+    structured = []
     all_ok = True
     for name, plan in scenarios:
-        engine, topo = _build(seed=140)
+        engine, topo = _build(seed=140, obs=obs)
         engine.install_faults(plan)
         _run(engine, topo, seed=141)
         crash_at = {n: t for (t, kind, n, _s) in engine.fault_log if kind == "crash"}
@@ -182,6 +200,19 @@ def _crash_schedule_table() -> tuple[str, bool]:
             and engine.broadcast.pending_gap_total() == 0
         )
         all_ok = all_ok and ok
+        structured.append(
+            {
+                "scenario": name,
+                "crashes": engine.injector.stats.crashes,
+                "recoveries": engine.injector.stats.recoveries,
+                "recovery_latency": latency if recoveries else None,
+                "blocks_synced": synced,
+                "agreement": _agreement(engine),
+                "unchecked_rate": rate,
+                "stuck_gaps": engine.broadcast.pending_gap_total(),
+                "ok": ok,
+            }
+        )
         rows.append(
             (
                 name,
@@ -207,28 +238,41 @@ def _crash_schedule_table() -> tuple[str, bool]:
         ],
         rows,
     )
-    return table, all_ok
+    return table, all_ok, structured
 
 
-def _e12_tables() -> tuple[str, bool]:
-    sweep, sweep_ok = _loss_sweep_table()
-    crash, crash_ok = _crash_schedule_table()
+def _e12_tables() -> tuple[str, bool, dict, MetricsRegistry]:
+    # One registry across all scenarios: the observability snapshot in
+    # BENCH_E12_faults.json then totals the whole experiment's traffic
+    # (drops, retransmits, repairs, crash events, ...).
+    obs = MetricsRegistry()
+    sweep, sweep_ok, sweep_metrics = _loss_sweep_table(obs)
+    crash, crash_ok, crash_metrics = _crash_schedule_table(obs)
     text = (
         "-- loss sweep (10 rounds x 8 tx, dup/reorder at half the loss rate) --\n"
         f"{sweep}\n\n"
         "-- seeded crash schedules (10% link loss throughout) --\n"
         f"{crash}"
     )
-    return text, sweep_ok and crash_ok
+    metrics = {
+        "loss_sweep": sweep_metrics,
+        "crash_schedules": crash_metrics,
+        "all_ok": sweep_ok and crash_ok,
+    }
+    return text, sweep_ok and crash_ok, metrics, obs
 
 
 def test_e12_fault_tolerance(benchmark):
     """E12: safety invariants under loss, crashes, and failover."""
-    text, all_ok = benchmark.pedantic(_e12_tables, rounds=1, iterations=1)
+    text, all_ok, metrics, obs = benchmark.pedantic(
+        _e12_tables, rounds=1, iterations=1
+    )
     emit(
         "E12_faults",
         "E12 (fault tolerance): agreement, Lemma 2, and Theorem 4 under "
         f"seeded fault plans, f = {F}",
         text,
+        metrics=metrics,
+        registry=obs,
     )
     assert all_ok

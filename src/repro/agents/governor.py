@@ -37,6 +37,7 @@ from repro.ledger.transaction import (
 )
 from repro.ledger.validation import CountingOracle, ValidityOracle
 from repro.network.topology import Topology
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["GovernorMetrics", "Governor"]
 
@@ -74,6 +75,8 @@ class Governor:
         oracle: The governor's ``validate`` — wrapped in a
             :class:`CountingOracle` so validation cost is measured.
         rng: The governor's private randomness for screening draws.
+        obs: Metrics registry shared with the engine (the ``gov_*``
+            family, labeled by governor id; see OBSERVABILITY.md).
     """
 
     governor_id: str
@@ -82,6 +85,7 @@ class Governor:
     im: IdentityManager
     oracle: CountingOracle
     rng: np.random.Generator
+    obs: MetricsRegistry = field(default_factory=lambda: NULL_REGISTRY)
     book: ReputationBook = field(init=False)
     ledger: Ledger = field(init=False)
     argues: ArgueManager = field(init=False)
@@ -102,10 +106,38 @@ class Governor:
                 f"key owner {self.key.owner!r} != governor {self.governor_id!r}"
             )
         self.book = ReputationBook(
-            governor=self.governor_id, initial=self.params.initial_reputation
+            governor=self.governor_id,
+            initial=self.params.initial_reputation,
+            obs=self.obs,
         )
         self.ledger = Ledger(owner=self.governor_id)
         self.argues = ArgueManager(window=self.params.argue_window)
+        gid = self.governor_id
+        screenings = self.obs.counter(
+            "gov_screenings_total",
+            "Transactions screened, by governor and outcome",
+            labels=("governor", "outcome"),
+        )
+        self._m_checked = screenings.labels(governor=gid, outcome="checked")
+        self._m_skipped = screenings.labels(governor=gid, outcome="unchecked")
+        self._m_unchecked_ratio = self.obs.gauge(
+            "gov_unchecked_ratio",
+            "Running unchecked fraction per governor (Lemma 2 bounds E[.] by f)",
+            labels=("governor",),
+        ).labels(governor=gid)
+        self._m_forgeries = self.obs.counter(
+            "gov_forgeries_total", "Forged uploads caught", labels=("governor",)
+        ).labels(governor=gid)
+        self._m_argues = self.obs.counter(
+            "gov_argues_served_total",
+            "Admitted argue calls re-validated",
+            labels=("governor",),
+        ).labels(governor=gid)
+        self._m_mistakes = self.obs.counter(
+            "gov_mistakes_total",
+            "Unchecked records whose revealed truth contradicted the label",
+            labels=("governor",),
+        ).labels(governor=gid)
 
     # -- setup ----------------------------------------------------------
 
@@ -232,6 +264,7 @@ class Governor:
         if not provider_ok:
             apply_forge_update(self.book, upload.collector)
             self.metrics.forgeries_caught += 1
+            self._m_forgeries.inc()
             return False
         _tx, labels = self._received.setdefault(tx.tx_id, (tx, {}))
         if upload.collector in labels:
@@ -269,12 +302,17 @@ class Governor:
         self.metrics.transactions_screened += 1
         if decision.checked:
             self.metrics.validations += 1
+            self._m_checked.inc()
             true_label = Label.from_bool(bool(decision.validation_result))
             apply_checked_update(self.book, decision.labels, true_label)
         else:
             self.metrics.unchecked += 1
+            self._m_skipped.inc()
             self._pending_unchecked[tx_id] = decision
             self.argues.record_unchecked(tx_id)
+        self._m_unchecked_ratio.set(
+            self.metrics.unchecked / self.metrics.transactions_screened
+        )
         return decision_to_record(decision)
 
     def screen_pending(self) -> list[TxRecord]:
@@ -313,6 +351,7 @@ class Governor:
                 f"argue admitted for {tx_id} but no pending decision is held"
             )
         self.metrics.argues_served += 1
+        self._m_argues.inc()
         self.metrics.validations += 1
         is_valid = self.oracle.validate(decision.tx)
         true_label = Label.from_bool(is_valid)
@@ -369,4 +408,5 @@ class Governor:
         if true_label is Label.VALID:
             # Recorded invalid-unchecked but actually valid: a mistake.
             self.metrics.mistakes += 1
+            self._m_mistakes.inc()
             self.metrics.realized_loss += 2.0

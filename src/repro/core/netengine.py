@@ -72,6 +72,7 @@ from repro.network.broadcast import AtomicBroadcast
 from repro.network.reliable import ReliableChannel
 from repro.network.simnet import Message, Simulator, SyncNetwork
 from repro.network.topology import Topology
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.workloads.generator import TxSpec
 
 __all__ = [
@@ -128,6 +129,12 @@ class NetworkedProtocolEngine:
             failover, and crash-recovery wiring.  Off by default: the
             fault-free engine's packet counts stay bit-identical to the
             pre-resilience implementation.
+        obs: Optional :class:`~repro.obs.MetricsRegistry` threaded
+            through every layer — network, broadcast, reliable channel,
+            governors, reputation books — plus engine-level counters
+            and sim-time spans (``round`` / ``pack`` / ``drain_recovery``).
+            Same no-op convention as ``resilience``: absent or disabled,
+            runs are bit-identical (see OBSERVABILITY.md).
     """
 
     def __init__(
@@ -140,6 +147,7 @@ class NetworkedProtocolEngine:
         max_delay: float = 0.05,
         stake: Mapping[str, int] | None = None,
         resilience: bool = False,
+        obs: MetricsRegistry | None = None,
     ):
         if params.delta < 2 * max_delay:
             raise ConfigurationError(
@@ -153,13 +161,37 @@ class NetworkedProtocolEngine:
         self.transcript = RunTranscript()
         self.store = BlockStore()
         self.sim = Simulator(seed=seed)
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self.obs.bind_clock(lambda: self.sim.now)
         self.network = SyncNetwork(
-            self.sim, min_delay=min_delay, max_delay=max_delay, seed=seed + 1
+            self.sim, min_delay=min_delay, max_delay=max_delay, seed=seed + 1,
+            obs=self.obs,
         )
-        self.broadcast = AtomicBroadcast(self.network)
+        self.broadcast = AtomicBroadcast(self.network, obs=self.obs)
         self.resilience = resilience
         self.channel: ReliableChannel | None = (
-            ReliableChannel(self.network, max_retries=5) if resilience else None
+            ReliableChannel(self.network, max_retries=5, obs=self.obs)
+            if resilience
+            else None
+        )
+        self._m_rounds = self.obs.counter(
+            "engine_rounds_total", "Protocol rounds executed"
+        )
+        self._m_tx_offered = self.obs.counter(
+            "engine_tx_offered_total", "Workload transactions offered to providers"
+        )
+        self._m_engine_argues = self.obs.counter(
+            "engine_argues_total", "Argue messages raised by providers"
+        )
+        self._m_block_size = self.obs.histogram(
+            "engine_block_size",
+            "Records packed per block",
+            buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        )
+        self._m_crash_events = self.obs.counter(
+            "engine_crash_events_total",
+            "Node crash/recover transitions applied by the engine",
+            labels=("event",),
         )
         self.injector: FaultInjector | None = None
         self._crashed: set[str] = set()
@@ -210,6 +242,7 @@ class NetworkedProtocolEngine:
                 im=self.im,
                 oracle=CountingOracle(inner=self.oracle),
                 rng=np.random.default_rng(self._master.integers(2**63)),
+                obs=self.obs,
             )
             gov.register_topology(topology)
             self.governors[gid] = gov
@@ -346,6 +379,7 @@ class NetworkedProtocolEngine:
             self._crashed.add(node_id)
             self.network.partition(node_id)
             self.fault_log.append((self.sim.now, "crash", node_id, 0))
+            self._m_crash_events.labels(event="crash").inc()
 
     def recover_node(self, node_id: str) -> None:
         """Recover a crashed node, with role-appropriate semantics."""
@@ -357,6 +391,7 @@ class NetworkedProtocolEngine:
             self._crashed.discard(node_id)
             self.network.heal(node_id)
             self.fault_log.append((self.sim.now, "recover", node_id, 0))
+            self._m_crash_events.labels(event="recover").inc()
 
     def crash_governor(self, gid: str) -> None:
         """Crash-stop a governor: connectivity cut, volatile state lost.
@@ -373,6 +408,7 @@ class NetworkedProtocolEngine:
         self._round_records[gid].clear()
         self._timers_started = {k for k in self._timers_started if k[0] != gid}
         self.fault_log.append((self.sim.now, "crash", gid, 0))
+        self._m_crash_events.labels(event="crash").inc()
 
     def recover_governor(self, gid: str) -> None:
         """Rejoin a crashed governor: ledger sync + broadcast catch-up.
@@ -393,6 +429,7 @@ class NetworkedProtocolEngine:
         for group in ("uploads", "blocks"):
             self.broadcast.skip_to(group, gid, self.broadcast.current_seqno(group))
         self.fault_log.append((self.sim.now, "recover", gid, synced))
+        self._m_crash_events.labels(event="recover").inc()
 
     def crash_collector(self, cid: str, retire: bool = True) -> None:
         """Crash-stop a collector; by default churn it out immediately.
@@ -411,6 +448,7 @@ class NetworkedProtocolEngine:
                 if governor.book.is_registered(cid):
                     governor.drop_collector(cid)
         self.fault_log.append((self.sim.now, "crash", cid, 0))
+        self._m_crash_events.labels(event="crash").inc()
 
     def recover_collector(self, cid: str, bootstrap: str = "median") -> None:
         """Re-admit a recovered collector under the churn rules.
@@ -431,6 +469,7 @@ class NetworkedProtocolEngine:
             if not governor.book.is_registered(cid):
                 governor.admit_collector(cid, providers, bootstrap=bootstrap)
         self.fault_log.append((self.sim.now, "recover", cid, 0))
+        self._m_crash_events.labels(event="recover").inc()
 
     def _live_leader(self, elected: str) -> str:
         """Deterministic leader failover: next live governor in order."""
@@ -546,6 +585,7 @@ class NetworkedProtocolEngine:
         leader_id = actual_leader["id"]
 
         # Phase 4: providers read the block and argue.
+        argue_start = self.sim.now
         argues_before = self._argues_sent
         for provider in self.providers.values():
             fresh = self.store.next_for(provider.provider_id)
@@ -564,6 +604,17 @@ class NetworkedProtocolEngine:
         rewards = distribute_rewards(self.params, self.governors[leader_id].book)
         for cid, amount in rewards.items():
             self.rewards_paid[cid] = self.rewards_paid.get(cid, 0.0) + amount
+
+        self._m_rounds.inc()
+        self._m_tx_offered.inc(len(specs))
+        self._m_engine_argues.inc(self._argues_sent - argues_before)
+        self._m_block_size.observe(float(len(block.tx_list)))
+        self.obs.record_span(
+            "argue_phase", argue_start, self.sim.now, round=round_number
+        )
+        self.obs.record_span(
+            "round", t0, self.sim.now, round=round_number, leader=leader_id
+        )
 
         return NetworkedRoundResult(
             round_number=round_number,
@@ -584,6 +635,7 @@ class NetworkedProtocolEngine:
             return
         if grace is None:
             grace = 40 * self.network.max_delay
+        drain_start = self.sim.now
         # Several scan/run cycles: a repair NACK (or its answer) can be
         # crossing a link the moment a crashed endpoint heals, and the
         # first NACKs for a gap target the primary sequencer, which may
@@ -599,6 +651,7 @@ class NetworkedProtocolEngine:
             ):
                 break
             self.sim.run(until=self.sim.now + grace / cycles)
+        self.obs.record_span("drain_recovery", drain_start, self.sim.now)
 
     def finalize(self) -> None:
         """Reveal all pending unchecked truths (closes the loss books).

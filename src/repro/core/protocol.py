@@ -55,6 +55,7 @@ from repro.ledger.transaction import LabeledTransaction, TxRecord
 from repro.ledger.validation import CountingOracle, GroundTruthOracle
 from repro.network.topology import Topology
 from repro.network.visibility import VisibilityMap
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.workloads.generator import TxSpec
 
 __all__ = ["RoundResult", "EngineMetrics", "ProtocolEngine"]
@@ -114,6 +115,12 @@ class ProtocolEngine:
         leader_rotation: When True, bypass the VRF election and rotate
             leaders round-robin (useful to de-noise non-consensus
             experiments); the default is the paper's PoS election.
+        obs: Optional :class:`~repro.obs.MetricsRegistry`; when given,
+            the engine, its governors, and their reputation books feed
+            the ``engine_* / gov_* / rep_*`` metric families (see
+            OBSERVABILITY.md).  Observability never touches RNG or
+            control flow, so seeded runs are bit-identical with it on,
+            off, or absent.
     """
 
     def __init__(
@@ -126,6 +133,7 @@ class ProtocolEngine:
         leader_rotation: bool = False,
         visibility: VisibilityMap | None = None,
         abusive_providers: Mapping[str, float] | None = None,
+        obs: MetricsRegistry | None = None,
     ):
         self.topology = topology
         self.params = params
@@ -142,6 +150,21 @@ class ProtocolEngine:
         self._round = 0
         self._reevaluated_queue: dict[str, TxRecord] = {}
         self._master = np.random.default_rng(seed)
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self._m_rounds = self.obs.counter(
+            "engine_rounds_total", "Protocol rounds executed"
+        )
+        self._m_tx_offered = self.obs.counter(
+            "engine_tx_offered_total", "Workload transactions offered to providers"
+        )
+        self._m_engine_argues = self.obs.counter(
+            "engine_argues_total", "Argue messages raised by providers"
+        )
+        self._m_block_size = self.obs.histogram(
+            "engine_block_size",
+            "Records packed per block",
+            buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        )
 
         behaviors = dict(behaviors or {})
         unknown = set(behaviors) - set(topology.collectors)
@@ -193,6 +216,7 @@ class ProtocolEngine:
                 im=self.im,
                 oracle=CountingOracle(inner=self.oracle),
                 rng=np.random.default_rng(self._master.integers(2**63)),
+                obs=self.obs,
             )
             gov.register_topology(
                 topology,
@@ -295,6 +319,7 @@ class ProtocolEngine:
                 for tx_id in provider.review_block(fresh, self.oracle):
                     self.transcript.argue_calls.add(tx_id)
                     self.metrics.argues_total += 1
+                    self._m_engine_argues.inc()
                     admitted_record: TxRecord | None = None
                     for governor in self.governors.values():
                         record = governor.handle_argue(tx_id)
@@ -314,6 +339,9 @@ class ProtocolEngine:
 
         self.metrics.rounds += 1
         self.metrics.transactions_offered += len(specs)
+        self._m_rounds.inc()
+        self._m_tx_offered.inc(len(specs))
+        self._m_block_size.observe(float(len(block_records)))
 
         return RoundResult(
             round_number=round_number,

@@ -20,12 +20,14 @@ Each governor ``g_j`` keeps, for each collector ``c_i``, an
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError, ProtocolViolationError
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["ReputationVector", "ReputationBook"]
 
@@ -85,11 +87,30 @@ class ReputationVector:
 
 @dataclass
 class ReputationBook:
-    """One governor's reputation table ``R_j`` over all collectors."""
+    """One governor's reputation table ``R_j`` over all collectors.
+
+    ``obs`` is the optional metrics registry; updates feed the
+    ``rep_updates_total`` counter and the ``rep_update_magnitude``
+    histogram (the ``-ln(factor)`` size of each multiplicative
+    discount — see OBSERVABILITY.md).
+    """
 
     governor: str
     initial: float = 1.0
     _vectors: dict[str, ReputationVector] = field(default_factory=dict)
+    obs: MetricsRegistry = field(default_factory=lambda: NULL_REGISTRY)
+
+    def __post_init__(self) -> None:
+        self._m_updates = self.obs.counter(
+            "rep_updates_total",
+            "Reputation updates applied, by Algorithm-3 case",
+            labels=("case",),
+        )
+        self._m_magnitude = self.obs.histogram(
+            "rep_update_magnitude",
+            "Multiplicative discount size -ln(factor) per scaled entry",
+            buckets=(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0),
+        )
 
     def register_collector(self, collector: str, providers: Iterable[str]) -> None:
         """Create the fresh (s+2)-vector for a newly known collector."""
@@ -135,10 +156,12 @@ class ReputationBook:
     def record_forge(self, collector: str) -> None:
         """Case 1: decrement ``w_forge`` for a forged upload."""
         self.vector(collector).forge -= 1
+        self._m_updates.labels(case="forge").inc()
 
     def record_checked(self, collector: str, labeled_correctly: bool) -> None:
         """Case 2: ±1 on ``w_misreport`` for a checked transaction."""
         self.vector(collector).misreport += 1 if labeled_correctly else -1
+        self._m_updates.labels(case="checked").inc()
 
     def apply_revealed_truth(
         self,
@@ -164,13 +187,17 @@ class ReputationBook:
             if outcome == "correct":
                 continue
             if outcome == "wrong":
+                factor = gamma
                 self.vector(collector).scale(provider, gamma)
             elif outcome == "missed":
+                factor = beta
                 self.vector(collector).scale(provider, beta)
             else:
                 raise ProtocolViolationError(
                     f"unknown reveal outcome {outcome!r} for {collector!r}"
                 )
+            self._m_updates.labels(case="reveal").inc()
+            self._m_magnitude.observe(-math.log(factor))
 
     def total_weight(self, provider: str, collectors: Iterable[str]) -> float:
         """Sum of weights w.r.t. ``provider`` over ``collectors``."""

@@ -42,6 +42,7 @@ from typing import Any, Callable
 
 from repro.exceptions import SimulationError
 from repro.network.simnet import Message, SyncNetwork
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["SequencedPayload", "GapRepairRequest", "AtomicBroadcast"]
 
@@ -95,9 +96,38 @@ class AtomicBroadcast:
     #: ``repairs_expired`` and the member must fall back to ``skip_to``.
     DEFAULT_RETENTION = 4096
 
-    def __init__(self, network: SyncNetwork, retention: int = DEFAULT_RETENTION):
+    def __init__(
+        self,
+        network: SyncNetwork,
+        retention: int = DEFAULT_RETENTION,
+        obs: MetricsRegistry | None = None,
+    ):
         self.network = network
         self.retention = retention
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self._m_broadcasts = self.obs.counter(
+            "abcast_broadcasts_total",
+            "Payloads sequenced per broadcast group",
+            labels=("group",),
+        )
+        self._m_delivered = self.obs.counter(
+            "abcast_delivered_total",
+            "In-order deliveries (cursor advances) per broadcast group",
+            labels=("group",),
+        )
+        self._m_misrouted = self.obs.counter(
+            "abcast_misrouted_dropped_total",
+            "Sequenced payloads dropped at a non-member receiver",
+        )
+        self._m_repairs = self.obs.counter(
+            "abcast_repairs_total",
+            "Gap-repair (NACK) events by outcome",
+            labels=("event",),
+        )
+        self._m_failover_nacks = self.obs.counter(
+            "abcast_failover_nacks_total",
+            "Repair requests addressed to the backup sequencer endpoint",
+        )
         self._members: dict[str, list[str]] = {}
         self._deliver: dict[tuple[str, str], Callable[[str, Any], None]] = {}
         self._state: dict[tuple[str, str], _ReceiverState] = {}
@@ -156,6 +186,7 @@ class AtomicBroadcast:
             raise SimulationError(f"unknown broadcast group {group!r}")
         seqno = self._next_seqno[group]
         self._next_seqno[group] = seqno + 1
+        self._m_broadcasts.labels(group=group).inc()
         payload = SequencedPayload(group=group, seqno=seqno, sender=sender, body=body)
         if self._repair_primary is not None:
             retained = self._sent.setdefault(group, {})
@@ -191,6 +222,7 @@ class AtomicBroadcast:
             # handler: fault-injected duplicates or misrouted repairs
             # would corrupt it.  Drop and count.
             self.misrouted_dropped += 1
+            self._m_misrouted.inc()
             return True
         heapq.heappush(
             state.pending, (payload.seqno, next(state.tiebreak), payload, message)
@@ -207,6 +239,7 @@ class AtomicBroadcast:
                 # Duplicate delivery attempt; integrity says drop it.
                 continue
             state.next_seqno = seqno + 1
+            self._m_delivered.labels(group=key[0]).inc()
             if handler is not None:
                 handler(payload.sender, payload.body)
 
@@ -298,9 +331,11 @@ class AtomicBroadcast:
                     # Evicted past the retention horizon: unrepairable
                     # here, the member needs ledger sync + skip_to.
                     self.repairs_expired += 1
+                    self._m_repairs.labels(event="expired").inc()
                     continue
                 payload, size_hint = entry
                 self.repairs_served += 1
+                self._m_repairs.labels(event="served").inc()
                 self.network.send(seq_id, request.requester, payload, size_hint=size_hint)
         return handle
 
@@ -345,11 +380,15 @@ class AtomicBroadcast:
             return
         if state.repair_attempts >= self._repair_max_attempts:
             self.repairs_gave_up += 1
+            self._m_repairs.labels(event="gave_up").inc()
             return
         group, member = key
         target = self._active_repair_target(state)
         state.repair_attempts += 1
         self.repairs_requested += 1
+        self._m_repairs.labels(event="requested").inc()
+        if target == self._repair_backup:
+            self._m_failover_nacks.inc()
         request = GapRepairRequest(
             group=group,
             requester=member,
@@ -380,6 +419,9 @@ class AtomicBroadcast:
             target = self._active_repair_target(state)
             state.repair_attempts += 1
             self.repairs_requested += 1
+            self._m_repairs.labels(event="requested").inc()
+            if target == self._repair_backup:
+                self._m_failover_nacks.inc()
             self.network.send(
                 member,
                 target,

@@ -29,6 +29,7 @@ from typing import Any, Callable
 
 from repro.exceptions import SimulationError
 from repro.network.simnet import Message, SyncNetwork
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["ReliableEnvelope", "ReliableAck", "ReliableStats", "ReliableChannel"]
 
@@ -81,6 +82,8 @@ class ReliableChannel:
         base_timeout: First retransmit timer; defaults to
             ``3 * network.max_delay`` (one round trip plus slack).
         backoff: Multiplier applied to the timer per attempt.
+        obs: Metrics registry (see OBSERVABILITY.md); defaults to the
+            no-op registry.
     """
 
     def __init__(
@@ -89,6 +92,7 @@ class ReliableChannel:
         max_retries: int = 4,
         base_timeout: float | None = None,
         backoff: float = 2.0,
+        obs: MetricsRegistry | None = None,
     ):
         if base_timeout is None:
             base_timeout = 3 * network.max_delay
@@ -104,6 +108,33 @@ class ReliableChannel:
         self._ids = itertools.count()
         self._pending: dict[int, _Pending] = {}
         self._seen: dict[str, set[int]] = {}
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self._m_sent = self.obs.counter(
+            "rel_sent_total", "Application payloads submitted for reliable delivery"
+        )
+        self._m_delivered = self.obs.counter(
+            "rel_delivered_total", "Envelopes delivered to application handlers"
+        )
+        self._m_retransmits = self.obs.counter(
+            "rel_retransmits_total", "Envelope retransmissions after timeout"
+        )
+        self._m_dups = self.obs.counter(
+            "rel_duplicates_suppressed_total",
+            "Envelope replays suppressed by msg_id dedup",
+        )
+        self._m_acks = self.obs.counter(
+            "rel_acks_total", "Acknowledgements sent by receivers"
+        )
+        self._m_gave_up = self.obs.counter(
+            "rel_gave_up_total", "Envelopes abandoned after the full retry budget"
+        )
+        self._m_unacked = self.obs.gauge(
+            "rel_unacked", "Envelopes currently awaiting an ack"
+        )
+        self._m_backoff = self.obs.histogram(
+            "rel_backoff_wait_seconds",
+            "Retransmit timer values scheduled (sim seconds)",
+        )
 
     # -- receiver side --------------------------------------------------
 
@@ -119,17 +150,21 @@ class ReliableChannel:
         def wrapped(message: Message) -> None:
             payload = message.payload
             if isinstance(payload, ReliableAck):
-                self._pending.pop(payload.msg_id, None)
+                if self._pending.pop(payload.msg_id, None) is not None:
+                    self._m_unacked.set(len(self._pending))
                 return
             if isinstance(payload, ReliableEnvelope):
                 self.stats.acks_sent += 1
+                self._m_acks.inc()
                 self.network.send(node_id, payload.sender, ReliableAck(payload.msg_id))
                 seen = self._seen[node_id]
                 if payload.msg_id in seen:
                     self.stats.duplicates_suppressed += 1
+                    self._m_dups.inc()
                     return
                 seen.add(payload.msg_id)
                 self.stats.delivered += 1
+                self._m_delivered.inc()
                 handler(replace(message, payload=payload.body))
                 return
             handler(message)
@@ -146,6 +181,8 @@ class ReliableChannel:
             sender=sender, receiver=receiver, envelope=envelope, size_hint=size_hint
         )
         self.stats.sent += 1
+        self._m_sent.inc()
+        self._m_unacked.set(len(self._pending))
         self._transmit(msg_id)
         return msg_id
 
@@ -157,6 +194,7 @@ class ReliableChannel:
             pending.sender, pending.receiver, pending.envelope, pending.size_hint
         )
         timeout = self.base_timeout * (self.backoff ** pending.attempts)
+        self._m_backoff.observe(timeout)
         self.network.sim.schedule_after(
             timeout,
             lambda: self._retry(msg_id),
@@ -170,9 +208,12 @@ class ReliableChannel:
         if pending.attempts >= self.max_retries:
             del self._pending[msg_id]
             self.stats.gave_up += 1
+            self._m_gave_up.inc()
+            self._m_unacked.set(len(self._pending))
             return
         pending.attempts += 1
         self.stats.retransmits += 1
+        self._m_retransmits.inc()
         self._transmit(msg_id)
 
     @property

@@ -20,6 +20,7 @@ import numpy as np
 from repro.exceptions import SimulationError, SynchronyViolationError
 from repro.network.clock import GlobalClock
 from repro.network.events import Event, EventQueue
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["Message", "Simulator", "SyncNetwork", "NetworkStats"]
 
@@ -162,6 +163,8 @@ class SyncNetwork:
         seed: Per-network RNG seed for latency draws (independent of the
             simulator's RNG so workload randomness does not perturb
             network timing and vice versa).
+        obs: Metrics registry (see OBSERVABILITY.md); defaults to the
+            no-op registry, leaving the hot path untouched.
     """
 
     def __init__(
@@ -170,6 +173,7 @@ class SyncNetwork:
         min_delay: float = 0.01,
         max_delay: float = 0.1,
         seed: int = 1,
+        obs: MetricsRegistry | None = None,
     ):
         if not 0 <= min_delay <= max_delay:
             raise SimulationError(
@@ -179,6 +183,23 @@ class SyncNetwork:
         self.min_delay = min_delay
         self.max_delay = max_delay
         self.stats = NetworkStats()
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self._m_sent = self.obs.counter(
+            "net_messages_sent_total",
+            "Messages scheduled for delivery, by payload kind",
+            labels=("kind",),
+        )
+        self._m_bytes = self.obs.counter(
+            "net_bytes_sent_total", "Sum of size hints over sent messages"
+        )
+        self._m_dropped = self.obs.counter(
+            "net_messages_dropped_total",
+            "Messages destroyed before delivery, by cause",
+            labels=("reason",),
+        )
+        self._m_delay = self.obs.histogram(
+            "net_delay_seconds", "Per-message transmission delay (sim seconds)"
+        )
         self._rng = np.random.default_rng(seed)
         self._handlers: dict[str, Callable[[Message], None]] = {}
         # Per (sender, receiver) channel: time of the latest scheduled
@@ -225,6 +246,7 @@ class SyncNetwork:
             raise SimulationError(f"no handler registered for receiver {receiver!r}")
         if sender in self._partitioned or receiver in self._partitioned:
             self.stats.record_drop()
+            self._m_dropped.labels(reason="partition").inc()
             return
         action = (
             self.fault_filter(sender, receiver, payload)
@@ -233,6 +255,7 @@ class SyncNetwork:
         )
         if action is not None and getattr(action, "drop", False):
             self.stats.record_drop()
+            self._m_dropped.labels(reason="fault").inc()
             return
         copies = 1 + (int(getattr(action, "duplicates", 0)) if action is not None else 0)
         extra_delay = float(getattr(action, "extra_delay", 0.0)) if action is not None else 0.0
@@ -261,6 +284,10 @@ class SyncNetwork:
                 sent_at=now, deliver_at=at,
             )
             self.stats.record(message, size_hint)
+            kind = getattr(payload, "kind", type(payload).__name__)
+            self._m_sent.labels(kind=kind).inc()
+            self._m_bytes.inc(size_hint)
+            self._m_delay.observe(message.latency)
             self.sim.schedule_at(
                 at,
                 lambda m=message: self._deliver(m),
@@ -276,6 +303,7 @@ class SyncNetwork:
         """
         if message.receiver in self._partitioned:
             self.stats.record_drop()
+            self._m_dropped.labels(reason="in_flight").inc()
             return
         self._handlers[message.receiver](message)
 

@@ -1,0 +1,466 @@
+"""Typed metrics registry — counters, gauges, histograms with labels.
+
+The observability layer the experiments and benches share.  Design
+constraints, in order:
+
+1. **Dependency-free and deterministic.**  Pure stdlib; no wall-clock
+   reads anywhere.  Export ordering is fully deterministic (sorted by
+   metric name, then label values), so two identical seeded runs
+   produce byte-identical exports.
+2. **A disabled registry is a no-op.**  Components accept an optional
+   registry and default to :data:`NULL_REGISTRY`, whose metric handles
+   swallow every call.  Instrumentation never draws randomness, never
+   branches on metric values, and never reorders protocol work, so a
+   seeded run's ledger and RNG consumption are bit-identical whether
+   observability is off, on, or absent — the same convention as the
+   fault machinery's ``resilience=False`` default.
+3. **Prometheus-compatible naming.**  ``*_total`` counters, base-unit
+   histograms, label sets declared at registration.  The exporters in
+   :mod:`repro.obs.export` emit the standard text exposition format.
+
+Metric registration is idempotent: asking for an already-registered
+name with the same type and label names returns the existing metric
+(many governors share one registry), while a conflicting re-registration
+raises :class:`~repro.exceptions.ConfigurationError`.
+
+Sim-time spans live on the same registry (see :mod:`repro.obs.spans`):
+``registry.bind_clock(lambda: sim.now)`` once, then
+``with registry.span("round", round="3"): ...`` wherever a phase should
+be measured in simulated seconds.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable, Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.obs.spans import NULL_SPAN_CONTEXT, Span, SpanContext
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Default histogram buckets, tuned for simulated-seconds latencies
+#: (network delays are 5-100 ms; retransmit backoffs reach a few
+#: seconds).  Dimensionless histograms (block sizes, update magnitudes)
+#: declare their own buckets.
+DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+def _label_key(
+    metric: "_Metric", values: Mapping[str, str]
+) -> tuple[str, ...]:
+    if set(values) != set(metric.label_names):
+        raise ConfigurationError(
+            f"metric {metric.name!r} takes labels {metric.label_names}, "
+            f"got {tuple(sorted(values))}"
+        )
+    return tuple(str(values[name]) for name in metric.label_names)
+
+
+class _Metric:
+    """Shared machinery: one named metric with a fixed label schema."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: tuple[str, ...]):
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._children: dict[tuple[str, ...], "_Metric"] = {}
+
+    def labels(self, **values: str) -> "_Metric":
+        """The child bound to one label-value combination (cached)."""
+        key = _label_key(self, values)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child(key)
+            self._children[key] = child
+        return child
+
+    def _make_child(self, key: tuple[str, ...]) -> "_Metric":
+        raise NotImplementedError
+
+    def _require_unlabeled(self) -> None:
+        if self.label_names:
+            raise ConfigurationError(
+                f"metric {self.name!r} needs labels {self.label_names}; "
+                "call .labels(...) first"
+            )
+
+    def samples(self) -> Iterable[tuple[tuple[str, ...], object]]:
+        """(label values, value) pairs in deterministic (sorted) order."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Zero every child (registrations survive)."""
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, label_names: tuple[str, ...] = ()):
+        super().__init__(name, help, label_names)
+        self._values: dict[tuple[str, ...], float] = {}
+        if not label_names:
+            self._values[()] = 0.0
+
+    def _make_child(self, key: tuple[str, ...]) -> "_BoundCounter":
+        self._values.setdefault(key, 0.0)
+        return _BoundCounter(self, key)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (>= 0) to the unlabeled series."""
+        self._require_unlabeled()
+        self._add((), amount)
+
+    def _add(self, key: tuple[str, ...], amount: float) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (amount={amount})"
+            )
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    @property
+    def value(self) -> float:
+        """The unlabeled series' current count."""
+        self._require_unlabeled()
+        return self._values.get((), 0.0)
+
+    def value_of(self, **values: str) -> float:
+        """One labeled series' current count (0 if never touched)."""
+        return self._values.get(_label_key(self, values), 0.0)
+
+    def samples(self) -> Iterable[tuple[tuple[str, ...], float]]:
+        return sorted(self._values.items())
+
+    def reset(self) -> None:
+        for key in self._values:
+            self._values[key] = 0.0
+
+
+class _BoundCounter:
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: Counter, key: tuple[str, ...]):
+        self._metric = metric
+        self._key = key
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._metric._add(self._key, amount)
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (set to the latest observation)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, label_names: tuple[str, ...] = ()):
+        super().__init__(name, help, label_names)
+        self._values: dict[tuple[str, ...], float] = {}
+        if not label_names:
+            self._values[()] = 0.0
+
+    def _make_child(self, key: tuple[str, ...]) -> "_BoundGauge":
+        self._values.setdefault(key, 0.0)
+        return _BoundGauge(self, key)
+
+    def set(self, value: float) -> None:
+        """Overwrite the unlabeled series."""
+        self._require_unlabeled()
+        self._values[()] = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Shift the unlabeled series by ``amount`` (may be negative)."""
+        self._require_unlabeled()
+        self._values[()] = self._values.get((), 0.0) + amount
+
+    @property
+    def value(self) -> float:
+        """The unlabeled series' current value."""
+        self._require_unlabeled()
+        return self._values.get((), 0.0)
+
+    def value_of(self, **values: str) -> float:
+        """One labeled series' current value (0 if never set)."""
+        return self._values.get(_label_key(self, values), 0.0)
+
+    def samples(self) -> Iterable[tuple[tuple[str, ...], float]]:
+        return sorted(self._values.items())
+
+    def reset(self) -> None:
+        for key in self._values:
+            self._values[key] = 0.0
+
+
+class _BoundGauge:
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: Gauge, key: tuple[str, ...]):
+        self._metric = metric
+        self._key = key
+
+    def set(self, value: float) -> None:
+        self._metric._values[self._key] = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._metric._values[self._key] = (
+            self._metric._values.get(self._key, 0.0) + amount
+        )
+
+
+class _HistogramState:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * n_buckets
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """A distribution over fixed, ascending buckets.
+
+    Stores per-bucket counts plus sum/count; the Prometheus exporter
+    renders the conventional cumulative ``_bucket{le=...}`` series with
+    a trailing ``+Inf``.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, label_names)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ConfigurationError(
+                f"histogram {name!r} needs ascending non-empty buckets, got {buckets}"
+            )
+        self.buckets = tuple(float(b) for b in buckets)
+        self._states: dict[tuple[str, ...], _HistogramState] = {}
+        if not label_names:
+            self._states[()] = _HistogramState(len(self.buckets))
+
+    def _make_child(self, key: tuple[str, ...]) -> "_BoundHistogram":
+        self._states.setdefault(key, _HistogramState(len(self.buckets)))
+        return _BoundHistogram(self, key)
+
+    def observe(self, value: float) -> None:
+        """Record one observation on the unlabeled series."""
+        self._require_unlabeled()
+        self._observe((), value)
+
+    def _observe(self, key: tuple[str, ...], value: float) -> None:
+        state = self._states.setdefault(key, _HistogramState(len(self.buckets)))
+        state.sum += value
+        state.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                state.bucket_counts[i] += 1
+                break
+
+    def state_of(self, **values: str) -> _HistogramState:
+        """The (bucket_counts, sum, count) state of one series."""
+        key = _label_key(self, values)
+        return self._states.setdefault(key, _HistogramState(len(self.buckets)))
+
+    @property
+    def count(self) -> int:
+        """Observations on the unlabeled series."""
+        self._require_unlabeled()
+        return self._states[()].count
+
+    @property
+    def sum(self) -> float:
+        """Sum of observations on the unlabeled series."""
+        self._require_unlabeled()
+        return self._states[()].sum
+
+    def samples(self) -> Iterable[tuple[tuple[str, ...], _HistogramState]]:
+        return sorted(self._states.items())
+
+    def reset(self) -> None:
+        for key in self._states:
+            self._states[key] = _HistogramState(len(self.buckets))
+
+
+class _BoundHistogram:
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: Histogram, key: tuple[str, ...]):
+        self._metric = metric
+        self._key = key
+
+    def observe(self, value: float) -> None:
+        self._metric._observe(self._key, value)
+
+
+class _NullHandle:
+    """Accepts the full metric/child API and does nothing."""
+
+    __slots__ = ()
+
+    def labels(self, **values: str) -> "_NullHandle":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class MetricsRegistry:
+    """The metric + span hub one run's components share.
+
+    Args:
+        enabled: When False every returned handle is a shared no-op and
+            nothing is recorded — the zero-overhead disabled mode.
+        clock: Sim-time source for spans; components usually inject it
+            later via :meth:`bind_clock` once the simulator exists.
+    """
+
+    def __init__(
+        self, enabled: bool = True, clock: Callable[[], float] | None = None
+    ):
+        self.enabled = enabled
+        self._clock = clock
+        self._metrics: dict[str, _Metric] = {}
+        self.spans: list[Span] = []
+
+    # -- registration ---------------------------------------------------
+
+    def _register(self, cls, name: str, help: str, label_names, **kwargs):
+        if not _NAME_RE.match(name):
+            raise ConfigurationError(f"bad metric name {name!r}")
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.label_names != tuple(label_names):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as {existing.kind} "
+                    f"with labels {existing.label_names}"
+                )
+            return existing
+        metric = cls(name, help, tuple(label_names), **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str, labels: Iterable[str] = ()
+    ) -> Counter:
+        """Register (or fetch) a counter."""
+        if not self.enabled:
+            return _NULL_HANDLE
+        return self._register(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str, labels: Iterable[str] = ()) -> Gauge:
+        """Register (or fetch) a gauge."""
+        if not self.enabled:
+            return _NULL_HANDLE
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labels: Iterable[str] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Register (or fetch) a histogram."""
+        if not self.enabled:
+            return _NULL_HANDLE
+        return self._register(Histogram, name, help, labels, buckets=buckets)
+
+    # -- spans ----------------------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the sim-time source spans read (idempotent)."""
+        if self.enabled:
+            self._clock = clock
+
+    def span(self, name: str, **labels: str) -> SpanContext:
+        """A context manager recording one sim-time span.
+
+        Without a bound clock the span is recorded at time 0.0 — the
+        event sequence is still useful even when durations are not.
+        """
+        if not self.enabled:
+            return NULL_SPAN_CONTEXT
+        return SpanContext(self, name, {k: str(v) for k, v in labels.items()})
+
+    def record_span(
+        self, name: str, start: float, end: float, **labels: str
+    ) -> None:
+        """Record a span whose endpoints were captured by the caller.
+
+        The engines use this where the interval brackets ``sim.run``
+        calls and a ``with`` block would force awkward control flow.
+        """
+        if self.enabled:
+            self.spans.append(
+                Span(
+                    name=name,
+                    labels={k: str(v) for k, v in labels.items()},
+                    start=start,
+                    end=end,
+                )
+            )
+
+    def spans_of(self, name: str) -> list[Span]:
+        """All recorded spans with the given name, in record order."""
+        return [s for s in self.spans if s.name == name]
+
+    def _now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    # -- introspection ---------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> _Metric:
+        """The metric registered under ``name``.
+
+        Raises:
+            ConfigurationError: unknown metric.
+        """
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise ConfigurationError(f"no metric registered as {name!r}") from None
+
+    def metrics(self) -> Iterable[_Metric]:
+        """Registered metrics in name order (deterministic)."""
+        return [self._metrics[name] for name in self.names()]
+
+    def reset(self) -> None:
+        """Zero all metric values and clear spans; keep registrations."""
+        for metric in self._metrics.values():
+            metric.reset()
+        self.spans.clear()
+
+
+#: The shared disabled registry every un-instrumented component uses.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -1,0 +1,93 @@
+"""Sim-time span tracing.
+
+A :class:`Span` is one named interval of *simulated* time — a round, a
+block pack, a recovery drain — with string labels.  Spans complement
+the counters in :mod:`repro.obs.registry`: counters say *how much*,
+spans say *where the sim time went*.
+
+Spans are recorded through the registry so one object travels through
+the stack::
+
+    registry.bind_clock(lambda: sim.now)
+    with registry.span("round", round="3", leader="g1"):
+        ...  # simulated work; start/end read the bound clock
+
+Deliberately minimal: no nesting bookkeeping, no ids — the (name,
+labels, start, end) tuple plus record order is everything the analysis
+recipes in OBSERVABILITY.md need, and nothing here can perturb a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = ["Span", "SpanContext", "NULL_SPAN_CONTEXT"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed interval of simulated time."""
+
+    name: str
+    labels: Mapping[str, str]
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds the span covered."""
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (used by the JSONL exporter)."""
+        return {
+            "span": self.name,
+            "labels": dict(self.labels),
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+        }
+
+
+class SpanContext:
+    """Context manager that records one span on exit."""
+
+    __slots__ = ("_registry", "_name", "_labels", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, labels: dict):
+        self._registry = registry
+        self._name = name
+        self._labels = labels
+
+    def __enter__(self) -> "SpanContext":
+        self._start = self._registry._now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._registry.spans.append(
+            Span(
+                name=self._name,
+                labels=self._labels,
+                start=self._start,
+                end=self._registry._now(),
+            )
+        )
+
+
+class _NullSpanContext:
+    """The disabled registry's span: records nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN_CONTEXT = _NullSpanContext()

@@ -1,0 +1,122 @@
+"""The benchmark harness's machine-readable BENCH_*.json twins."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.obs import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def helpers():
+    path = pathlib.Path(__file__).parent.parent / "benchmarks" / "_helpers.py"
+    spec = importlib.util.spec_from_file_location("_bench_helpers", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestParseTables:
+    def test_single_table_types(self, helpers):
+        table = format_table(
+            ["f", "agreement", "rate", "note"],
+            [(0.5, True, 1234.5, "ok run"), (0.9, False, 2, "-")],
+        )
+        (parsed,) = helpers.parse_tables(table)
+        assert parsed["caption"] is None
+        assert parsed["columns"] == ["f", "agreement", "rate", "note"]
+        assert parsed["rows"][0] == {
+            "f": 0.5,
+            "agreement": True,
+            "rate": 1234.5,
+            "note": "ok run",
+        }
+        assert parsed["rows"][1]["agreement"] is False
+        assert parsed["rows"][1]["rate"] == 2
+
+    def test_captioned_multi_table(self, helpers):
+        one = format_table(["a"], [(1,)])
+        two = format_table(["b"], [(2,)])
+        text = f"-- first --\n{one}\n\n-- second --\n{two}"
+        parsed = helpers.parse_tables(text)
+        assert [t["caption"] for t in parsed] == ["-- first --", "-- second --"]
+        assert parsed[0]["rows"] == [{"a": 1}]
+        assert parsed[1]["rows"] == [{"b": 2}]
+
+    def test_cells_with_single_spaces_survive(self, helpers):
+        table = format_table(
+            ["scenario", "latency (s)"],
+            [("governor crash-recovery", 1.1), ("sequencer failover", 0.4)],
+        )
+        (parsed,) = helpers.parse_tables(table)
+        assert parsed["rows"][0]["scenario"] == "governor crash-recovery"
+        assert parsed["rows"][1]["latency (s)"] == 0.4
+
+    def test_scientific_and_grouped_numbers(self, helpers):
+        table = format_table(["x"], [(123456.789,), (0.0000123,)])
+        (parsed,) = helpers.parse_tables(table)
+        assert parsed["rows"][0]["x"] == pytest.approx(123456.789, rel=1e-3)
+        assert parsed["rows"][1]["x"] == pytest.approx(1.23e-5, rel=1e-2)
+
+
+class TestEmit:
+    def test_writes_txt_and_schema_versioned_json(self, helpers, tmp_path, monkeypatch):
+        monkeypatch.setattr(helpers, "RESULTS_DIR", tmp_path)
+        table = format_table(["f", "ok"], [(0.5, True)])
+        reg = MetricsRegistry()
+        reg.counter("hits_total", "hits").inc(3)
+        helpers.emit(
+            "T1_demo",
+            "demo experiment",
+            table,
+            metrics={"all_ok": True},
+            registry=reg,
+        )
+        assert (tmp_path / "T1_demo.txt").read_text().startswith("demo experiment\n")
+        doc = json.loads((tmp_path / "BENCH_T1_demo.json").read_text())
+        assert doc["schema"] == helpers.BENCH_SCHEMA == "repro.bench.v1"
+        assert doc["name"] == "T1_demo"
+        assert doc["tables"][0]["rows"] == [{"f": 0.5, "ok": True}]
+        assert doc["metrics"] == {"all_ok": True}
+        assert doc["observability"]["metrics"]["hits_total"]["samples"][0]["value"] == 3
+
+    def test_optional_fields_omitted(self, helpers, tmp_path, monkeypatch):
+        monkeypatch.setattr(helpers, "RESULTS_DIR", tmp_path)
+        helpers.emit("T2_demo", "demo", format_table(["x"], [(1,)]))
+        doc = json.loads((tmp_path / "BENCH_T2_demo.json").read_text())
+        assert "metrics" not in doc and "observability" not in doc
+
+    def test_emit_is_deterministic(self, helpers, tmp_path, monkeypatch):
+        monkeypatch.setattr(helpers, "RESULTS_DIR", tmp_path)
+        table = format_table(["x"], [(1,)])
+        helpers.emit("T3_demo", "demo", table)
+        first = (tmp_path / "BENCH_T3_demo.json").read_bytes()
+        helpers.emit("T3_demo", "demo", table)
+        assert (tmp_path / "BENCH_T3_demo.json").read_bytes() == first
+
+
+class TestShippedResults:
+    def test_every_result_has_a_json_twin(self, helpers):
+        results = helpers.RESULTS_DIR
+        if not results.exists():
+            pytest.skip("no generated results checked out")
+        txts = sorted(p.stem for p in results.glob("*.txt"))
+        twins = sorted(
+            p.stem.removeprefix("BENCH_") for p in results.glob("BENCH_*.json")
+        )
+        assert txts == twins
+
+    def test_shipped_json_is_schema_versioned(self, helpers):
+        results = helpers.RESULTS_DIR
+        docs = sorted(results.glob("BENCH_*.json"))
+        if not docs:
+            pytest.skip("no generated results checked out")
+        for path in docs:
+            doc = json.loads(path.read_text())
+            assert doc["schema"] == helpers.BENCH_SCHEMA, path.name
+            assert doc["tables"], path.name

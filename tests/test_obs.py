@@ -1,0 +1,214 @@
+"""Unit tests for the repro.obs metrics registry and exporters."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    snapshot,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+)
+
+
+class TestCounters:
+    def test_unlabelled_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total", "hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_labelled_series_are_independent(self):
+        reg = MetricsRegistry()
+        c = reg.counter("req_total", "requests", labels=("node",))
+        c.labels(node="a").inc()
+        c.labels(node="b").inc(4)
+        assert c.value_of(node="a") == 1
+        assert c.value_of(node="b") == 4
+
+    def test_unknown_label_name_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("req_total", "requests", labels=("node",))
+        with pytest.raises(ConfigurationError):
+            c.labels(zone="a")
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total", "hits")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+
+class TestRegistration:
+    def test_idempotent_same_schema(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "x", labels=("k",))
+        b = reg.counter("x_total", "x", labels=("k",))
+        assert a is b
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("x_total", "x")
+
+    def test_label_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "x", labels=("k",))
+        with pytest.raises(ConfigurationError):
+            reg.counter("x_total", "x", labels=("j",))
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_set_and_inc(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth", "queue depth")
+        g.set(7)
+        g.inc(-2)
+        assert g.value == 5
+
+    def test_histogram_buckets_fill(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        ((_labels, state),) = h.samples()
+        assert state.bucket_counts == [1, 1]  # 0.05 <= 0.1, 0.5 <= 1.0
+        assert state.count == 3
+        assert state.sum == pytest.approx(5.55)
+
+    def test_histogram_buckets_must_ascend(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.histogram("lat", "latency", buckets=(1.0, 0.5))
+
+
+class TestReset:
+    def test_reset_zeroes_but_keeps_registrations(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total", "hits", labels=("k",))
+        c.labels(k="a").inc(3)
+        with reg.span("phase"):
+            pass
+        reg.reset()
+        assert reg.get("hits_total") is c
+        assert c.value_of(k="a") == 0
+        assert reg.spans == []
+
+    def test_series_survive_reset_at_zero(self):
+        # A bound child from before the reset keeps working.
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total", "hits", labels=("k",))
+        bound = c.labels(k="a")
+        bound.inc(3)
+        reg.reset()
+        bound.inc()
+        assert c.value_of(k="a") == 1
+
+
+class TestSpans:
+    def test_span_context_uses_bound_clock(self):
+        reg = MetricsRegistry()
+        now = {"t": 1.0}
+        reg.bind_clock(lambda: now["t"])
+        with reg.span("work", node="a"):
+            now["t"] = 3.5
+        (span,) = reg.spans_of("work")
+        assert span.start == 1.0 and span.end == 3.5
+        assert span.duration == 2.5
+        assert span.labels == {"node": "a"}
+
+    def test_record_span_coerces_labels(self):
+        reg = MetricsRegistry()
+        reg.record_span("round", 0.0, 1.0, round=3)
+        (span,) = reg.spans_of("round")
+        assert span.labels == {"round": "3"}
+
+
+class TestDisabledRegistry:
+    def test_null_registry_is_noop(self):
+        c = NULL_REGISTRY.counter("x_total", "x", labels=("k",))
+        c.inc()
+        c.labels(k="a").inc(5)
+        NULL_REGISTRY.gauge("g", "g").set(1)
+        NULL_REGISTRY.histogram("h", "h").observe(1)
+        NULL_REGISTRY.record_span("s", 0.0, 1.0)
+        with NULL_REGISTRY.span("s"):
+            pass
+        assert NULL_REGISTRY.names() == []
+        assert NULL_REGISTRY.spans == []
+
+    def test_disabled_registry_exports_empty(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("x_total", "x").inc()
+        assert to_prometheus(reg) == ""
+        assert snapshot(reg) == {"metrics": {}, "spans": []}
+
+
+class TestExportDeterminism:
+    @staticmethod
+    def _populated():
+        reg = MetricsRegistry()
+        c = reg.counter("req_total", "requests", labels=("node",))
+        # Insertion order b-then-a must not leak into the export.
+        c.labels(node="b").inc(2)
+        c.labels(node="a").inc(1)
+        reg.gauge("depth", "queue depth").set(4)
+        reg.histogram("lat", "latency", buckets=(0.1, 1.0)).observe(0.5)
+        reg.record_span("phase", 0.0, 2.0, node="a")
+        return reg
+
+    def test_prometheus_sorted_and_cumulative(self):
+        text = to_prometheus(self._populated())
+        lines = text.splitlines()
+        assert lines[0] == "# HELP depth queue depth"
+        a = lines.index('req_total{node="a"} 1')
+        b = lines.index('req_total{node="b"} 2')
+        assert a < b
+        assert 'lat_bucket{le="0.1"} 0' in lines
+        assert 'lat_bucket{le="1"} 1' in lines
+        assert 'lat_bucket{le="+Inf"} 1' in lines
+        assert "lat_sum 0.5" in lines and "lat_count 1" in lines
+
+    def test_equal_registries_export_equal_bytes(self):
+        one, two = self._populated(), self._populated()
+        assert to_prometheus(one) == to_prometheus(two)
+        assert to_jsonl(one) == to_jsonl(two)
+        assert json.dumps(snapshot(one), sort_keys=True) == json.dumps(
+            snapshot(two), sort_keys=True
+        )
+
+    def test_jsonl_lines_parse_and_cover_spans(self):
+        rows = [json.loads(line) for line in to_jsonl(self._populated()).splitlines()]
+        metrics = [r for r in rows if "metric" in r]
+        spans = [r for r in rows if "span" in r]
+        assert {m["metric"] for m in metrics} == {"req_total", "depth", "lat"}
+        assert spans == [
+            {
+                "span": "phase",
+                "labels": {"node": "a"},
+                "start": 0.0,
+                "end": 2.0,
+                "duration": 2.0,
+            }
+        ]
+
+    def test_write_jsonl_accepts_file_and_path(self, tmp_path):
+        reg = self._populated()
+        buf = io.StringIO()
+        n = write_jsonl(reg, buf)
+        target = tmp_path / "m.jsonl"
+        assert write_jsonl(reg, target) == n
+        assert target.read_text() == buf.getvalue()
+
+    def test_snapshot_roundtrips_through_json(self):
+        snap = snapshot(self._populated())
+        assert json.loads(json.dumps(snap)) == snap

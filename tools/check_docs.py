@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Link and anchor checker for the repository's markdown docs.
+
+Stdlib-only, no network: validates that every relative link in every
+tracked ``*.md`` file points at an existing file, and that every
+``#fragment`` (same-file or cross-file) matches a real heading under
+GitHub's slugification rules.  External ``http(s)://`` / ``mailto:``
+targets are skipped.
+
+Usage::
+
+    python tools/check_docs.py [root]
+
+Exit status 0 when clean, 1 with one line per broken link otherwise.
+Run by CI (.github/workflows/ci.yml) and wrapped as a unit test in
+tests/test_docs_links.py so local pytest catches doc rot too.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Directories never scanned for markdown (generated or vendored).
+SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", "node_modules", ".benchmarks"}
+
+_LINK = re.compile(r"(?<!\!)\[[^\]^\[]*\]\(([^()\s]+(?:\([^()]*\))?)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+def _strip_fences(text: str) -> list[str]:
+    """The file's lines with fenced code blocks blanked out."""
+    lines = []
+    in_fence = False
+    for line in text.split("\n"):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            lines.append("")
+            continue
+        lines.append("" if in_fence else line)
+    return lines
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line's text."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # drop code spans, keep text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: pathlib.Path) -> set[str]:
+    """All anchor slugs a markdown file exposes (with -N dedup suffixes)."""
+    slugs: set[str] = set()
+    seen: dict[str, int] = {}
+    for line in _strip_fences(path.read_text(encoding="utf-8")):
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        base = github_slug(match.group(2))
+        count = seen.get(base, 0)
+        seen[base] = count + 1
+        slugs.add(base if count == 0 else f"{base}-{count}")
+    return slugs
+
+
+def markdown_files(root: pathlib.Path) -> list[pathlib.Path]:
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(part for part in path.parts):
+            files.append(path)
+    return files
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
+    errors = []
+    for lineno, line in enumerate(_strip_fences(path.read_text(encoding="utf-8")), 1):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            base, _, fragment = target.partition("#")
+            dest = path if not base else (path.parent / base).resolve()
+            where = f"{path.relative_to(root)}:{lineno}"
+            if base and not dest.exists():
+                errors.append(f"{where}: broken link target {target!r}")
+                continue
+            if fragment:
+                if dest.suffix != ".md" or dest.is_dir():
+                    continue  # anchors into non-markdown files aren't checked
+                if fragment.lower() not in heading_slugs(dest):
+                    errors.append(f"{where}: broken anchor {target!r}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else pathlib.Path(__file__).parent.parent
+    root = root.resolve()
+    errors: list[str] = []
+    files = markdown_files(root)
+    for path in files:
+        errors.extend(check_file(path, root))
+    for error in errors:
+        print(error)
+    print(f"check_docs: {len(files)} markdown files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
