@@ -12,15 +12,21 @@ prints the paper-style table, and persists it twice under
   observability snapshot (see OBSERVABILITY.md for the schema).
 
 Timing is reported by pytest-benchmark; the tables are the scientific
-output.  The JSON twin carries no timestamps so reruns with the same
-seeds are byte-identical.
+output.  The JSON twin's ``meta`` block records the wall-clock duration
+and the python/numpy versions of the producing run; everything else is
+seed-determined, so reruns with the same seeds are byte-identical
+outside ``meta``.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import platform
 import re
+import time
+
+import numpy as np
 
 from repro.agents.behaviors import (
     AlwaysInvertBehavior,
@@ -31,6 +37,10 @@ from repro.agents.behaviors import (
 from repro.obs import snapshot
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Import time of this module; the default wall-clock reference for a
+#: bench run's ``meta.duration_s`` when no explicit duration is passed.
+_T0 = time.perf_counter()
 
 #: Version tag stamped into every BENCH_*.json. Bump on breaking schema
 #: changes and document the migration in OBSERVABILITY.md.
@@ -116,12 +126,29 @@ def parse_tables(text: str) -> list[dict]:
     return tables
 
 
+def runtime_meta(duration_s: float | None = None) -> dict:
+    """The metadata block stamped into every BENCH twin.
+
+    Records the producing run's wall-clock duration (seconds) and the
+    python/numpy versions — enough to interpret throughput numbers and
+    spot environment drift between otherwise byte-identical reruns.
+    """
+    if duration_s is None:
+        duration_s = time.perf_counter() - _T0
+    return {
+        "duration_s": round(float(duration_s), 3),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
 def emit(
     name: str,
     title: str,
     table: str,
     metrics: dict | None = None,
     registry=None,
+    duration_s: float | None = None,
 ) -> None:
     """Print an experiment table and persist both result files.
 
@@ -135,6 +162,8 @@ def emit(
         registry: Optional :class:`repro.obs.MetricsRegistry`; when
             given, its full :func:`repro.obs.snapshot` is embedded under
             ``"observability"``.
+        duration_s: Wall-clock seconds the bench took; defaults to the
+            elapsed time since this module was imported.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     text = f"{title}\n{table}\n"
@@ -147,6 +176,7 @@ def emit(
         "name": name,
         "title": title,
         "tables": parse_tables(table),
+        "meta": runtime_meta(duration_s),
     }
     if metrics is not None:
         doc["metrics"] = metrics

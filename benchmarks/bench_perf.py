@@ -1,0 +1,290 @@
+"""P1/P2 — hot-path throughput and latency of the protocol itself.
+
+Every other bench in this directory measures *protocol properties*
+(agreement, regret, loss bounds); this one measures *speed*: how many
+transactions per second the engines push end-to-end, and how fast the
+individual hot operations (canonical encoding, HMAC sign/verify,
+screening decisions, event-loop steps) run — each with the performance
+caches enabled vs. force-disabled through :mod:`repro.perf`, so the
+table doubles as the before/after record (disabled mode is the pre-cache
+code path).
+
+The suite also re-checks the determinism contract on every run: the
+ledger tip hashes of the cached and uncached end-to-end runs must be
+identical (see PERFORMANCE.md and tests/test_perf.py).
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py          # full scale
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick  # CI smoke
+
+or through pytest-benchmark like the other benches::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf.py -q
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+if __name__ == "__main__":  # script mode: make _helpers + repro importable
+    _here = pathlib.Path(__file__).resolve().parent
+    sys.path.insert(0, str(_here))
+    _src = _here.parent / "src"
+    if _src.is_dir() and str(_src) not in sys.path:
+        sys.path.insert(0, str(_src))
+
+from _helpers import emit
+
+import numpy as np
+
+from repro import ProtocolEngine, ProtocolParams, Topology, perf
+from repro.agents.behaviors import ConcealBehavior, MisreportBehavior
+from repro.analysis.reporting import format_table
+from repro.core.netengine import NetworkedProtocolEngine
+from repro.core.reputation import ReputationBook
+from repro.core.screening import ReportSet, screen_transaction
+from repro.crypto.hashing import canonical_encode
+from repro.crypto.identity import IdentityManager, Role
+from repro.crypto.signatures import sign
+from repro.ledger.transaction import Label, make_signed_transaction
+from repro.network.simnet import Simulator
+from repro.workloads.generator import BernoulliWorkload
+
+#: Work scales.  ``quick`` is the CI smoke configuration: same code
+#: paths and files, small enough to finish in seconds.
+SCALES = {
+    "full": dict(rounds=20, per_round=32, net_rounds=10, net_per_round=8, micro=20_000),
+    "quick": dict(rounds=5, per_round=16, net_rounds=4, net_per_round=8, micro=2_000),
+}
+
+
+# -- end-to-end throughput (P1) -----------------------------------------
+
+
+def _run_inprocess(rounds: int, per_round: int) -> tuple[int, float, str]:
+    """One seeded in-process run; returns (txs, seconds, tip hash)."""
+    topo = Topology.regular(l=16, n=8, m=4, r=4)
+    params = ProtocolParams(f=0.5, b_limit=1024)
+    behaviors = {"c0": MisreportBehavior(0.4), "c1": ConcealBehavior(0.4)}
+    engine = ProtocolEngine(topo, params, behaviors=behaviors, seed=7)
+    workload = BernoulliWorkload(topo.providers, p_valid=0.8, seed=8)
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        engine.run_round(workload.take(per_round))
+    engine.finalize()
+    elapsed = time.perf_counter() - t0
+    tip = next(iter(engine.governors.values())).ledger.tip_hash().hex()
+    return rounds * per_round, elapsed, tip
+
+
+def _run_networked(rounds: int, per_round: int) -> tuple[int, float, str]:
+    """One seeded networked (discrete-event) run."""
+    topo = Topology.regular(l=8, n=4, m=3, r=2)
+    params = ProtocolParams(f=0.5, delta=0.2)
+    engine = NetworkedProtocolEngine(topo, params, seed=3)
+    workload = BernoulliWorkload(topo.providers, p_valid=0.8, seed=4)
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        engine.run_round(workload.take(per_round))
+    elapsed = time.perf_counter() - t0
+    tip = next(iter(engine.governors.values())).ledger.tip_hash().hex()
+    return rounds * per_round, elapsed, tip
+
+
+def bench_throughput(scale: dict) -> tuple[list, dict]:
+    """Cached-vs-uncached end-to-end tx/s for both engines."""
+    rows = []
+    metrics: dict = {}
+    for label, runner, args in (
+        ("in-process", _run_inprocess, (scale["rounds"], scale["per_round"])),
+        ("networked", _run_networked, (scale["net_rounds"], scale["net_per_round"])),
+    ):
+        txs, t_cached, tip_cached = runner(*args)
+        with perf.all_disabled():
+            _, t_uncached, tip_uncached = runner(*args)
+        identical = tip_cached == tip_uncached
+        speedup = t_uncached / t_cached
+        rows.append((label, "caches off", txs, round(t_uncached, 3),
+                     round(txs / t_uncached, 1), 1.0, identical))
+        rows.append((label, "caches on", txs, round(t_cached, 3),
+                     round(txs / t_cached, 1), round(speedup, 2), identical))
+        metrics[label.replace("-", "_")] = {
+            "txs": txs,
+            "seconds_cached": t_cached,
+            "seconds_uncached": t_uncached,
+            "tx_per_s_cached": txs / t_cached,
+            "tx_per_s_uncached": txs / t_uncached,
+            "speedup": speedup,
+            "identical_ledger_tip": identical,
+            "tip": tip_cached,
+        }
+    return rows, metrics
+
+
+# -- micro-operations (P2) ----------------------------------------------
+
+
+def _ops_row(operation: str, mode: str, ops: int, seconds: float):
+    return (operation, mode, ops, round(seconds, 4), round(ops / seconds, 1))
+
+
+def _time_loop(fn, n: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return time.perf_counter() - t0
+
+
+def bench_micro(scale: dict) -> tuple[list, dict]:
+    """Per-operation throughput for the individual hot paths."""
+    n = scale["micro"]
+    rows = []
+
+    # Canonical encoding of the dominant payload shape.
+    payload = {"kind": "transfer", "amount": 125, "memo": "bench", "n": 42}
+    rows.append(_ops_row(
+        "canonical_encode(payload)", "-", n,
+        _time_loop(lambda: canonical_encode(payload), n),
+    ))
+
+    # HMAC signing over pre-encoded bytes.
+    im = IdentityManager(seed=11)
+    key = im.enroll("p0", Role.PROVIDER)
+    message = canonical_encode(("tx", b"\x01" * 32, 0.5))
+    rows.append(_ops_row(
+        "sign(message)", "-", n, _time_loop(lambda: sign(key, message), n)
+    ))
+
+    # Verification: cold (distinct payloads, every call a full HMAC)
+    # vs. warm (the r-fold/per-governor case — repeats hit the LRU).
+    cold_msgs = [canonical_encode(("tx", i.to_bytes(8, "big"), 0.5)) for i in range(n)]
+    cold_sigs = [sign(key, m) for m in cold_msgs]
+    sig = sign(key, message)
+    t0 = time.perf_counter()
+    for m, s in zip(cold_msgs, cold_sigs):
+        im.verify("p0", m, s)
+    t_cold = time.perf_counter() - t0
+    rows.append(_ops_row("verify(message)", "cold (all misses)", n, t_cold))
+    rows.append(_ops_row(
+        "verify(message)", "warm (cache hits)", n,
+        _time_loop(lambda: im.verify("p0", message, sig), n),
+    ))
+    with perf.overridden(signature_cache=False):
+        rows.append(_ops_row(
+            "verify(message)", "cache disabled", n,
+            _time_loop(lambda: im.verify("p0", message, sig), n),
+        ))
+
+    # Screening decisions (Algorithm 2) over a fixed report set.
+    decisions = max(n // 4, 500)
+    book = ReputationBook(governor="g0")
+    reporters = [f"c{i}" for i in range(4)]
+    for c in reporters:
+        book.register_collector(c, ["p0"])
+    tx = make_signed_transaction(key, {"v": 1}, timestamp=1.0, nonce=0)
+    reports = ReportSet(
+        tx=tx,
+        provider="p0",
+        labels={c: (Label.VALID if i % 2 == 0 else Label.INVALID)
+                for i, c in enumerate(reporters)},
+        linked_collectors=tuple(reporters),
+    )
+    params = ProtocolParams(f=0.5)
+    for mode, knobs in (("cached", {}), ("cache disabled", {"reputation_cache": False})):
+        with perf.overridden(**knobs):
+            rng = np.random.default_rng(5)
+            rows.append(_ops_row(
+                "screen_transaction", mode, decisions,
+                _time_loop(
+                    lambda: screen_transaction(
+                        params, book, reports, lambda _tx: True, rng
+                    ),
+                    decisions,
+                ),
+            ))
+
+    # Raw event-loop dispatch: schedule + drain no-op events.
+    events = max(n, 5_000)
+    sim = Simulator(seed=0)
+    noop = lambda: None  # noqa: E731
+    t0 = time.perf_counter()
+    for i in range(events):
+        sim.schedule_at(float(i) * 1e-6, noop)
+    sim.run()
+    t_events = time.perf_counter() - t0
+    rows.append(_ops_row("event schedule+dispatch", "-", events, t_events))
+
+    metrics = {
+        row[0] + (f" [{row[1]}]" if row[1] != "-" else ""): {
+            "ops": row[2], "seconds": row[3], "ops_per_s": row[4]
+        }
+        for row in rows
+    }
+    return rows, metrics
+
+
+# -- suite --------------------------------------------------------------
+
+
+def run_suite(quick: bool = False) -> dict:
+    """Run P1 + P2 and emit both result twins; returns the P1 metrics."""
+    scale = SCALES["quick" if quick else "full"]
+    suite_t0 = time.perf_counter()
+
+    p1_rows, p1_metrics = bench_throughput(scale)
+    table = format_table(
+        ["engine", "mode", "txs", "seconds", "tx/s", "speedup", "tips identical"],
+        p1_rows,
+    )
+    emit(
+        "P1_throughput",
+        "P1 — end-to-end throughput, caches on vs. force-disabled (before/after)",
+        table,
+        metrics=p1_metrics,
+        duration_s=time.perf_counter() - suite_t0,
+    )
+
+    p2_t0 = time.perf_counter()
+    p2_rows, p2_metrics = bench_micro(scale)
+    table = format_table(
+        ["operation", "mode", "ops", "seconds", "ops/s"], p2_rows
+    )
+    emit(
+        "P2_microbench",
+        "P2 — hot-path micro-operations (crypto, screening, event loop)",
+        table,
+        metrics=p2_metrics,
+        duration_s=time.perf_counter() - p2_t0,
+    )
+    return p1_metrics
+
+
+def test_perf_suite(benchmark):
+    """pytest-benchmark entry point (full scale, like the other benches)."""
+    metrics = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    assert metrics["in_process"]["identical_ledger_tip"]
+    assert metrics["networked"]["identical_ledger_tip"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small CI-smoke scale (same code paths, seconds not minutes)",
+    )
+    args = parser.parse_args(argv)
+    metrics = run_suite(quick=args.quick)
+    ok = all(m["identical_ledger_tip"] for m in metrics.values())
+    if not ok:
+        print("FATAL: cached and uncached runs diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -253,13 +253,15 @@ class Governor:
             # dropped before any attribution is attempted.
             return False
         tx, label = upload.parse()
+        # The memoized signed-message encodings feed the IM's verification
+        # cache: every governor checks the same bytes, only the first pays.
         collector_ok = self.im.verify(
-            upload.collector, upload.signed_message(), upload.collector_signature
+            upload.collector, upload.signed_message_bytes(), upload.collector_signature
         )
         if not collector_ok:
             return False
         provider_ok = self.im.verify(
-            tx.provider, tx.signed_message(), tx.provider_signature
+            tx.provider, tx.signed_message_bytes(), tx.provider_signature
         ) and self.im.is_linked(upload.collector, tx.provider)
         if not provider_ok:
             apply_forge_update(self.book, upload.collector)
@@ -332,6 +334,14 @@ class Governor:
     def buffered_tx_ids(self) -> list[str]:
         """Transactions awaiting their screening timer."""
         return sorted(self._received)
+
+    def has_buffered(self, tx_id: str) -> bool:
+        """O(1) membership test against the report buffer.
+
+        Equivalent to ``tx_id in buffered_tx_ids`` without the per-call
+        sort; the networked engine probes this once per delivered upload.
+        """
+        return tx_id in self._received
 
     # -- truth revelation / argue (Algorithm 2, deliver_argue arm) --------
 

@@ -142,7 +142,8 @@ class ProtocolEngine:
         self.visibility = visibility
         if visibility is not None:
             visibility.validate(topology)
-        self.im = IdentityManager(seed=seed)
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self.im = IdentityManager(seed=seed, obs=self.obs)
         self.oracle = GroundTruthOracle()
         self.transcript = RunTranscript()
         self.store = BlockStore()
@@ -150,7 +151,6 @@ class ProtocolEngine:
         self._round = 0
         self._reevaluated_queue: dict[str, TxRecord] = {}
         self._master = np.random.default_rng(seed)
-        self.obs = obs if obs is not None else NULL_REGISTRY
         self._m_rounds = self.obs.counter(
             "engine_rounds_total", "Protocol rounds executed"
         )

@@ -22,20 +22,110 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro import perf
 from repro.exceptions import ConfigurationError, ProtocolViolationError
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
-__all__ = ["ReputationVector", "ReputationBook"]
+__all__ = ["ReputationVector", "ReputationBook", "WeightRow"]
 
 #: Reputations are clamped above this floor so that a collector that was
 #: wrong many times keeps a representable (if negligible) weight; the
 #: paper's analysis never divides by a single weight, only by sums, and
 #: the floor keeps those sums strictly positive for numerical safety.
 WEIGHT_FLOOR = 1e-300
+
+#: Distinct (provider, collector-subset) weight rows a book memoizes
+#: before the cache is wholesale dropped (bounded by 2^r subsets per
+#: provider in practice, so eviction is rare).
+_ROW_CACHE_SIZE = 4096
+
+
+class _VersionedDict(dict):
+    """Provider→weight map that bumps its owner vector's version on mutation.
+
+    Reputation weights are mutated through :meth:`ReputationVector.scale`
+    *and* directly (gossip reconciliation, tests), so cache invalidation
+    cannot rely on a choke-point method — instead every mutating dict
+    operation advances the owning vector's ``_version``, which the
+    book-level row cache checks before reusing a snapshot.
+    """
+
+    __slots__ = ("owner",)
+
+    def __init__(self, data=(), owner=None):
+        super().__init__(data)
+        self.owner = owner
+
+    def _bump(self) -> None:
+        if self.owner is not None:
+            self.owner._version += 1
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        self._bump()
+
+    def __delitem__(self, key):
+        super().__delitem__(key)
+        self._bump()
+
+    def update(self, *args, **kwargs):
+        super().update(*args, **kwargs)
+        self._bump()
+
+    def setdefault(self, key, default=None):
+        result = super().setdefault(key, default)
+        self._bump()
+        return result
+
+    def pop(self, *args):
+        result = super().pop(*args)
+        self._bump()
+        return result
+
+    def popitem(self):
+        result = super().popitem()
+        self._bump()
+        return result
+
+    def clear(self):
+        super().clear()
+        self._bump()
+
+
+@dataclass(slots=True)
+class WeightRow:
+    """A contiguous snapshot of collector weights w.r.t. one provider.
+
+    ``weights[i]`` is the weight of the i-th collector of the row's key,
+    ``total`` is ``float(weights.sum())`` (NumPy pairwise order, exactly
+    as the uncached path computes it), and :meth:`probabilities` /
+    :meth:`python_sum` are computed lazily once and reused — this is
+    what makes screening's source-selection normalization O(1) amortized.
+    """
+
+    weights: np.ndarray
+    total: float
+    _vectors: tuple = ()
+    _versions: tuple[int, ...] = ()
+    _probs: np.ndarray | None = None
+    _psum: float | None = None
+
+    def probabilities(self) -> np.ndarray:
+        """``weights / total``, normalized once per snapshot."""
+        if self._probs is None:
+            self._probs = self.weights / self.total
+        return self._probs
+
+    def python_sum(self) -> float:
+        """Sequential (Python ``sum``) total, for callers that always
+        summed left-to-right — bit-identical to the uncached loop."""
+        if self._psum is None:
+            self._psum = sum(self.weights.tolist())
+        return self._psum
 
 
 @dataclass
@@ -45,6 +135,16 @@ class ReputationVector:
     provider_weights: dict[str, float]
     misreport: int = 0
     forge: int = 0
+
+    def __post_init__(self) -> None:
+        # Version counter consulted by ReputationBook's row cache; bumped
+        # by every provider_weights mutation via _VersionedDict.
+        self._version = 0
+        if not (
+            isinstance(self.provider_weights, _VersionedDict)
+            and self.provider_weights.owner is self
+        ):
+            self.provider_weights = _VersionedDict(self.provider_weights, self)
 
     @staticmethod
     def fresh(providers: Iterable[str], initial: float = 1.0) -> "ReputationVector":
@@ -101,6 +201,7 @@ class ReputationBook:
     obs: MetricsRegistry = field(default_factory=lambda: NULL_REGISTRY)
 
     def __post_init__(self) -> None:
+        self._row_cache: dict[tuple[str, tuple[str, ...]], WeightRow] = {}
         self._m_updates = self.obs.counter(
             "rep_updates_total",
             "Reputation updates applied, by Algorithm-3 case",
@@ -110,6 +211,14 @@ class ReputationBook:
             "rep_update_magnitude",
             "Multiplicative discount size -ln(factor) per scaled entry",
             buckets=(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0),
+        )
+        self._m_norm_hits = self.obs.counter(
+            "rep_norm_cache_hits",
+            "Reputation weight-row/normalization cache hits during screening",
+        )
+        self._m_norm_misses = self.obs.counter(
+            "rep_norm_cache_misses",
+            "Reputation weight-row cache misses (row rebuilt from vectors)",
         )
 
     def register_collector(self, collector: str, providers: Iterable[str]) -> None:
@@ -150,6 +259,57 @@ class ReputationBook:
     ) -> Mapping[str, float]:
         """The weights w.r.t. ``provider`` of the given collectors."""
         return {c: self.weight(c, provider) for c in collectors}
+
+    # -- contiguous weight rows (screening hot path) ----------------------
+
+    def _build_row(self, provider: str, collectors: tuple[str, ...]) -> WeightRow:
+        vectors = tuple(self.vector(c) for c in collectors)
+        weights = np.array([v.weight(provider) for v in vectors], dtype=float)
+        return WeightRow(
+            weights=weights,
+            total=float(weights.sum()),
+            _vectors=vectors,
+            _versions=tuple(v._version for v in vectors),
+        )
+
+    def selection_row(
+        self, provider: str, collectors: Sequence[str]
+    ) -> WeightRow:
+        """The contiguous weight row for ``collectors`` w.r.t. ``provider``.
+
+        Memoized per ``(provider, collectors)`` key and invalidated when
+        any underlying vector changes (identity *or* version — churn
+        swaps vector objects, updates bump versions), so repeated
+        screenings of the same reporter set skip both the per-collector
+        dict walk and the re-normalization.  With the cache disabled the
+        row is rebuilt every call; either way the numbers are computed by
+        the exact same operations, keeping seeded runs bit-identical.
+
+        Raises:
+            ProtocolViolationError: unknown collector, or no entry for
+                ``provider`` in some collector's vector.
+        """
+        collectors = tuple(collectors)
+        if not perf.ACTIVE.reputation_cache:
+            return self._build_row(provider, collectors)
+        key = (provider, collectors)
+        row = self._row_cache.get(key)
+        if row is not None:
+            vectors = self._vectors
+            for i, c in enumerate(collectors):
+                vec = vectors.get(c)
+                if vec is not row._vectors[i] or vec._version != row._versions[i]:
+                    row = None
+                    break
+        if row is not None:
+            self._m_norm_hits.inc()
+            return row
+        self._m_norm_misses.inc()
+        row = self._build_row(provider, collectors)
+        if len(self._row_cache) >= _ROW_CACHE_SIZE:
+            self._row_cache.clear()
+        self._row_cache[key] = row
+        return row
 
     # -- Algorithm 3 entry points ---------------------------------------
 
@@ -200,8 +360,18 @@ class ReputationBook:
             self._m_magnitude.observe(-math.log(factor))
 
     def total_weight(self, provider: str, collectors: Iterable[str]) -> float:
-        """Sum of weights w.r.t. ``provider`` over ``collectors``."""
-        return sum(self.weight(c, provider) for c in collectors)
+        """Sum of weights w.r.t. ``provider`` over ``collectors``.
+
+        Routed through the row cache; the sequential (left-to-right)
+        Python sum is preserved so totals stay bit-identical with the
+        cache on or off.
+        """
+        collectors = tuple(collectors)
+        if not collectors:
+            return 0
+        if not perf.ACTIVE.reputation_cache:
+            return sum(self.weight(c, provider) for c in collectors)
+        return self.selection_row(provider, collectors).python_sum()
 
     # -- membership churn -------------------------------------------------
 

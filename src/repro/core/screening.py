@@ -116,22 +116,26 @@ def screen_transaction(
     """
     provider = reports.provider
     reporters = sorted(reports.labels)  # deterministic ordering for the draw
-    weights = np.array([book.weight(c, provider) for c in reporters], dtype=float)
-    mass = float(weights.sum())
+    # Amortized-O(1) snapshot: weights, NumPy-order mass, and normalized
+    # probabilities are all memoized per (provider, reporters) row and
+    # reused until some underlying reputation entry changes.
+    row = book.selection_row(provider, reporters)
+    weights = row.weights
+    mass = row.total
     if mass <= 0.0:
         raise ProtocolViolationError(
             f"non-positive reputation mass {mass} for provider {provider!r}"
         )
     w_plus = sum(
-        book.weight(c, provider)
-        for c in reporters
+        w
+        for c, w in zip(reporters, weights.tolist())
         if reports.labels[c] is Label.VALID
     )
     w_minus = mass - w_plus
     silent = [c for c in reports.linked_collectors if c not in reports.labels]
     w_silent = book.total_weight(provider, silent) if silent else 0.0
 
-    probabilities = weights / mass
+    probabilities = row.probabilities()
     drawn_index = int(rng.choice(len(reporters), p=probabilities))
     chosen = reporters[drawn_index]
     chosen_label = reports.labels[chosen]

@@ -110,8 +110,25 @@ def hash_value(value: Any) -> bytes:
 
 
 def hash_many(values: Iterable[Any]) -> bytes:
-    """Hash an iterable of values as an ordered sequence."""
-    return hash_value(tuple(values))
+    """Hash an iterable of values as an ordered sequence.
+
+    Streams each member's canonical encoding into one incremental
+    SHA-256 instead of materialising an intermediate tuple and one big
+    concatenated buffer; the digest is identical to
+    ``hash_value(tuple(values))``.
+    """
+    if not hasattr(values, "__len__"):
+        values = list(values)
+    hasher = hashlib.sha256()
+    hasher.update(_TAG_SEQ)
+    hasher.update(len(values).to_bytes(8, "big"))
+    parts: list[bytes] = []
+    for item in values:
+        _encode(item, parts)
+        for part in parts:
+            hasher.update(part)
+        parts.clear()
+    return hasher.digest()
 
 
 def hexdigest(value: Any) -> str:

@@ -16,13 +16,20 @@ by a provider that collector is actually linked with.
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 import numpy as np
 
+from repro import perf
+from repro.crypto.hashing import canonical_encode, sha256
 from repro.crypto.signatures import Signature, SigningKey, sign, verify_with_key
 from repro.exceptions import UnknownIdentityError
+from repro.obs import MetricsRegistry, NULL_REGISTRY
+
+#: Sentinel distinguishing "not cached" from a cached ``False`` verdict.
+_MISS = object()
 
 __all__ = ["Role", "NodeRecord", "IdentityManager"]
 
@@ -56,17 +63,40 @@ class IdentityManager:
     simulation keeps all secrets in one registry; nodes only ever receive
     their own :class:`SigningKey`.
 
+    Verification is memoized in a bounded LRU keyed on
+    ``(signer, payload digest, tag)``: the r-fold collector fan-out and
+    the per-governor re-verification of the same upload hit the cache
+    instead of redoing identical HMACs.  The cache is sound because
+    credentials are immutable once enrolled (re-enrolment of an id
+    raises), and it can be force-disabled via
+    :data:`repro.perf.ACTIVE` ``.signature_cache``.
+
     Args:
         seed: Seed for credential generation, for reproducible runs.
+        obs: Metrics registry receiving the ``crypto_sig_cache_*``
+            hit/miss counters (defaults to the no-op registry).
     """
+
+    #: Maximum number of cached verification verdicts before LRU eviction.
+    VERIFY_CACHE_SIZE = 1 << 16
 
     seed: int = 0
     _records: dict[str, NodeRecord] = field(default_factory=dict)
     _links: dict[str, set[str]] = field(default_factory=dict)
+    obs: MetricsRegistry = field(default=NULL_REGISTRY, repr=False, compare=False)
     _rng: np.random.Generator = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         self._rng = np.random.default_rng(self.seed)
+        self._verify_cache: OrderedDict[tuple[str, bytes, bytes], bool] = OrderedDict()
+        self._m_sig_hits = self.obs.counter(
+            "crypto_sig_cache_hits",
+            "Identity Manager verification-cache hits (HMAC skipped)",
+        )
+        self._m_sig_misses = self.obs.counter(
+            "crypto_sig_cache_misses",
+            "Identity Manager verification-cache misses (full HMAC recomputed)",
+        )
 
     # -- enrolment ----------------------------------------------------
 
@@ -145,9 +175,44 @@ class IdentityManager:
         :meth:`verify_collector_upload` because it needs the message
         structure, not just bytes.
         """
-        if sender_id not in self._records:
+        record = self._records.get(sender_id)
+        if record is None:
             return False
-        return verify_with_key(self._records[sender_id].key, message, signature)
+        if not perf.ACTIVE.signature_cache:
+            return verify_with_key(record.key, message, signature)
+        if signature.signer != sender_id:
+            return False  # verify_with_key rejects this unconditionally
+        raw = message if isinstance(message, bytes) else canonical_encode(message)
+        key = (sender_id, sha256(raw), signature.tag)
+        cache = self._verify_cache
+        cached = cache.get(key, _MISS)
+        if cached is not _MISS:
+            cache.move_to_end(key)
+            self._m_sig_hits.inc()
+            return cached  # type: ignore[return-value]
+        # Credentials are immutable, so both verdicts are cacheable.
+        result = verify_with_key(record.key, raw, signature)
+        self._m_sig_misses.inc()
+        cache[key] = result
+        if len(cache) > self.VERIFY_CACHE_SIZE:
+            cache.popitem(last=False)
+        return result
+
+    def verify_batch(
+        self, items: Iterable[tuple[str, Any, Signature]]
+    ) -> list[bool]:
+        """Verify many ``(sender_id, message, signature)`` triples at once.
+
+        Drains the whole batch through the verification cache so
+        duplicate payloads — the r-fold collector fan-out delivering the
+        same provider signature to every linked collector, or every
+        governor re-checking the same upload — cost one HMAC total.
+        Returns one verdict per triple, in input order.
+        """
+        return [
+            self.verify(sender_id, message, signature)
+            for sender_id, message, signature in items
+        ]
 
     def verify_collector_upload(
         self,

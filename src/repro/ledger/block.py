@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import perf
 from repro.crypto.hashing import hash_value
 from repro.crypto.merkle import MerkleTree
 from repro.exceptions import BlockLimitExceededError, LedgerError
@@ -77,13 +78,25 @@ class Block:
 
     def canonical_bytes(self) -> bytes:
         """Stable encoding: header plus every record."""
-        return hash_value(
+        cached = self.__dict__.get("_canonical")
+        if cached is not None and perf.ACTIVE.encode_cache:
+            return cached
+        raw = hash_value(
             (self.header_tuple(), tuple(rec.canonical_bytes() for rec in self.tx_list))
         )
+        if perf.ACTIVE.encode_cache:
+            object.__setattr__(self, "_canonical", raw)
+        return raw
 
     def hash(self) -> bytes:
-        """``H(B)`` — the CRHF over the whole block."""
-        return hash_value(("block-hash", self.canonical_bytes()))
+        """``H(B)`` — the CRHF over the whole block, memoized per instance."""
+        cached = self.__dict__.get("_hash")
+        if cached is not None and perf.ACTIVE.encode_cache:
+            return cached
+        raw = hash_value(("block-hash", self.canonical_bytes()))
+        if perf.ACTIVE.encode_cache:
+            object.__setattr__(self, "_hash", raw)
+        return raw
 
     def prove_inclusion(self, index: int):
         """Merkle proof that ``tx_list[index]`` is committed by ``tx_root``."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from repro import perf
 from repro.crypto.signatures import Signature
 from repro.exceptions import LedgerError
 from repro.ledger.block import Block
@@ -63,14 +64,36 @@ def _sig_from_json(obj: dict) -> Signature:
 
 
 def encode_transaction(tx: SignedTransaction) -> dict:
-    """Serialise a signed transaction."""
-    return {
+    """Serialise a signed transaction.
+
+    A transaction's JSON shape never changes (frozen dataclasses), so
+    the encoding is memoized on the object — every governor replica
+    serialising its copy of the chain reuses one encoding.  The top
+    level and the signature sub-object are copied per call so callers
+    may edit them (the tamper tests do); ``payload`` is shared exactly
+    as in the uncached path.
+    """
+    cached = tx.__dict__.get("_codec_json")
+    if cached is not None and perf.ACTIVE.codec_fast_path:
+        out = dict(cached)
+        out["signature"] = dict(cached["signature"])
+        return out
+    obj = {
         "provider": tx.body.provider,
         "payload": tx.body.payload,
         "nonce": tx.body.nonce,
         "timestamp": tx.timestamp,
         "signature": _sig_to_json(tx.provider_signature),
     }
+    if perf.ACTIVE.codec_fast_path:
+        cached = dict(obj)
+        cached["signature"] = dict(obj["signature"])
+        object.__setattr__(tx, "_codec_json", cached)
+    return obj
+
+
+#: Key set of the dominant (well-formed) transaction object shape.
+_TX_SHAPE = frozenset(("provider", "payload", "nonce", "timestamp", "signature"))
 
 
 def decode_transaction(obj: dict) -> SignedTransaction:
@@ -79,6 +102,16 @@ def decode_transaction(obj: dict) -> SignedTransaction:
     Raises:
         LedgerError: on missing or malformed fields.
     """
+    if perf.ACTIVE.codec_fast_path and obj.keys() == _TX_SHAPE:
+        # Dominant shape: every field present, so the KeyError scaffold
+        # below cannot trigger; construct directly.
+        return SignedTransaction(
+            body=TransactionBody(
+                provider=obj["provider"], payload=obj["payload"], nonce=obj["nonce"]
+            ),
+            timestamp=obj["timestamp"],
+            provider_signature=_sig_from_json(obj["signature"]),
+        )
     try:
         body = TransactionBody(
             provider=obj["provider"], payload=obj["payload"], nonce=obj["nonce"]

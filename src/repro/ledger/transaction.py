@@ -16,7 +16,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.crypto.hashing import hash_value
+from repro import perf
+from repro.crypto.hashing import canonical_encode, hash_value
 from repro.crypto.signatures import Signature, SigningKey, sign
 
 __all__ = [
@@ -65,8 +66,19 @@ class TransactionBody:
     nonce: int
 
     def canonical_bytes(self) -> bytes:
-        """Stable encoding used for hashing and signing."""
-        return hash_value(("tx-body", self.provider, self.payload, self.nonce))
+        """Stable encoding used for hashing and signing.
+
+        Memoized on the (frozen) instance: bodies are encoded once and
+        then hashed into every downstream id, signature, and record, so
+        the cache turns the dominant hot-path cost into a dict lookup.
+        """
+        cached = self.__dict__.get("_canonical")
+        if cached is not None and perf.ACTIVE.encode_cache:
+            return cached
+        raw = hash_value(("tx-body", self.provider, self.payload, self.nonce))
+        if perf.ACTIVE.encode_cache:
+            object.__setattr__(self, "_canonical", raw)
+        return raw
 
 
 @dataclass(frozen=True)
@@ -91,18 +103,45 @@ class SignedTransaction:
     @property
     def tx_id(self) -> str:
         """Content-derived unique id (hash of body + timestamp)."""
-        return hash_value(("tx-id", self.body.canonical_bytes(), self.timestamp)).hex()[:32]
+        cached = self.__dict__.get("_tx_id")
+        if cached is not None and perf.ACTIVE.encode_cache:
+            return cached
+        raw = hash_value(("tx-id", self.body.canonical_bytes(), self.timestamp)).hex()[:32]
+        if perf.ACTIVE.encode_cache:
+            object.__setattr__(self, "_tx_id", raw)
+        return raw
 
     def signed_message(self) -> tuple:
         """The exact structure the provider's signature covers."""
         return ("tx", self.body.canonical_bytes(), self.timestamp)
 
+    def signed_message_bytes(self) -> bytes:
+        """Canonical encoding of :meth:`signed_message`, memoized.
+
+        These are the exact bytes the provider's HMAC covers, so they can
+        be handed to ``IdentityManager.verify`` directly — encode once,
+        verify many (once per linked collector and again per governor).
+        """
+        cached = self.__dict__.get("_signed_msg")
+        if cached is not None and perf.ACTIVE.encode_cache:
+            return cached
+        raw = canonical_encode(self.signed_message())
+        if perf.ACTIVE.encode_cache:
+            object.__setattr__(self, "_signed_msg", raw)
+        return raw
+
     def canonical_bytes(self) -> bytes:
         """Stable encoding (includes the signature tag)."""
-        return hash_value(
+        cached = self.__dict__.get("_canonical")
+        if cached is not None and perf.ACTIVE.encode_cache:
+            return cached
+        raw = hash_value(
             ("signed-tx", self.body.canonical_bytes(), self.timestamp,
              self.provider_signature.signer, self.provider_signature.tag)
         )
+        if perf.ACTIVE.encode_cache:
+            object.__setattr__(self, "_canonical", raw)
+        return raw
 
 
 @dataclass(frozen=True)
@@ -118,12 +157,28 @@ class LabeledTransaction:
         """The structure the collector's signature covers: (tx, label)."""
         return ("labeled-tx", self.tx.canonical_bytes(), int(self.label))
 
+    def signed_message_bytes(self) -> bytes:
+        """Canonical encoding of :meth:`signed_message`, memoized."""
+        cached = self.__dict__.get("_signed_msg")
+        if cached is not None and perf.ACTIVE.encode_cache:
+            return cached
+        raw = canonical_encode(self.signed_message())
+        if perf.ACTIVE.encode_cache:
+            object.__setattr__(self, "_signed_msg", raw)
+        return raw
+
     def canonical_bytes(self) -> bytes:
         """Stable encoding of the labeled transaction."""
-        return hash_value(
+        cached = self.__dict__.get("_canonical")
+        if cached is not None and perf.ACTIVE.encode_cache:
+            return cached
+        raw = hash_value(
             ("Tx", self.tx.canonical_bytes(), int(self.label),
              self.collector, self.collector_signature.tag)
         )
+        if perf.ACTIVE.encode_cache:
+            object.__setattr__(self, "_canonical", raw)
+        return raw
 
     def parse(self) -> tuple[SignedTransaction, Label]:
         """The paper's ``parse(Tx)``: the original tx and the label."""
@@ -145,9 +200,15 @@ class TxRecord:
 
     def canonical_bytes(self) -> bytes:
         """Stable encoding for block hashing."""
-        return hash_value(
+        cached = self.__dict__.get("_canonical")
+        if cached is not None and perf.ACTIVE.encode_cache:
+            return cached
+        raw = hash_value(
             ("tx-record", self.tx.canonical_bytes(), int(self.label), self.status.value)
         )
+        if perf.ACTIVE.encode_cache:
+            object.__setattr__(self, "_canonical", raw)
+        return raw
 
 
 def make_signed_transaction(

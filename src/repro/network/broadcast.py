@@ -194,11 +194,15 @@ class AtomicBroadcast:
             if len(retained) > self.retention:
                 del retained[min(retained)]
         reliable = self._transport is not None and group in self._reliable_groups
-        for member in self._members[group]:
-            if reliable:
+        if reliable:
+            for member in self._members[group]:
                 self._transport.send(sender, member, payload, size_hint=size_hint)
-            else:
-                self.network.send(sender, member, payload, size_hint=size_hint)
+        else:
+            # One vectorized latency draw for the whole fan-out (see
+            # SyncNetwork.multicast); bit-identical to per-member sends.
+            self.network.multicast(
+                sender, self._members[group], payload, size_hint=size_hint
+            )
         return seqno
 
     # -- receiver side -------------------------------------------------

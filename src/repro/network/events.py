@@ -18,13 +18,15 @@ from repro.exceptions import SimulationError
 __all__ = ["Event", "EventQueue"]
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
     Ordering is by ``(time, seq)``; the callback itself never affects
     ordering.  ``cancelled`` events stay in the heap but are skipped on
     pop (lazy deletion — O(log n) cancel without heap surgery).
+    Slotted: the event loop allocates one of these per message copy, so
+    the per-instance ``__dict__`` was measurable churn.
     """
 
     time: float

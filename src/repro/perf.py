@@ -1,0 +1,117 @@
+"""Runtime performance knobs for the hot-path caches.
+
+Every cache added by the performance layer is *semantics-preserving*: a
+seeded run produces bit-identical ledgers and experiment outputs whether
+the caches are enabled or force-disabled.  This module is the single
+switchboard that makes "force-disabled" possible, so the regression
+tests (``tests/test_perf.py``) can diff the two modes.
+
+The knobs are read on every hot call, so flipping them mid-process is
+safe (already-populated caches are simply bypassed, never consulted).
+
+Usage::
+
+    from repro import perf
+
+    perf.configure(signature_cache=False)      # flip one knob globally
+    with perf.overridden(encode_cache=False):  # scoped override
+        run_experiment(...)
+    with perf.all_disabled():                  # reference (uncached) mode
+        run_experiment(...)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+__all__ = [
+    "PerfConfig",
+    "ACTIVE",
+    "get_config",
+    "set_config",
+    "configure",
+    "overridden",
+    "all_disabled",
+]
+
+
+@dataclass(frozen=True)
+class PerfConfig:
+    """Feature flags for each optimisation, all on by default.
+
+    Attributes:
+        encode_cache: memoize ``canonical_bytes``/``tx_id``/signed-message
+            encodings on frozen ledger objects (encode once, reuse many).
+        signature_cache: LRU HMAC-verification cache in the
+            :class:`~repro.crypto.identity.IdentityManager` keyed on
+            ``(signer, payload digest, tag)``.
+        reputation_cache: contiguous weight-row / normalization caches in
+            :class:`~repro.core.reputation.ReputationBook` so screening's
+            source-selection probabilities are O(1) amortized.
+        batched_delays: one vectorized RNG call per multicast in
+            :class:`~repro.network.simnet.SyncNetwork` instead of one
+            scalar draw per edge (bit-identical stream, see PERFORMANCE.md).
+        codec_fast_path: reuse per-object JSON encodings in
+            ``repro.ledger.codec`` for the dominant transaction shape.
+    """
+
+    encode_cache: bool = True
+    signature_cache: bool = True
+    reputation_cache: bool = True
+    batched_delays: bool = True
+    codec_fast_path: bool = True
+
+
+#: The process-wide active configuration.  Hot paths read attributes off
+#: this object directly (``perf.ACTIVE.encode_cache``); replace it only
+#: through :func:`set_config` / :func:`configure` / the context managers.
+ACTIVE = PerfConfig()
+
+
+def get_config() -> PerfConfig:
+    """The currently active :class:`PerfConfig`."""
+    return ACTIVE
+
+
+def set_config(config: PerfConfig) -> None:
+    """Install ``config`` as the process-wide active configuration."""
+    global ACTIVE
+    ACTIVE = config
+
+
+def configure(**knobs: bool) -> PerfConfig:
+    """Flip individual knobs on the active configuration and return it."""
+    set_config(replace(ACTIVE, **knobs))
+    return ACTIVE
+
+
+@contextmanager
+def overridden(**knobs: bool) -> Iterator[PerfConfig]:
+    """Scoped override of individual knobs; restores the prior config."""
+    prior = ACTIVE
+    set_config(replace(prior, **knobs))
+    try:
+        yield ACTIVE
+    finally:
+        set_config(prior)
+
+
+@contextmanager
+def all_disabled() -> Iterator[PerfConfig]:
+    """Scoped reference mode with every optimisation switched off."""
+    prior = ACTIVE
+    set_config(
+        PerfConfig(
+            encode_cache=False,
+            signature_cache=False,
+            reputation_cache=False,
+            batched_delays=False,
+            codec_fast_path=False,
+        )
+    )
+    try:
+        yield ACTIVE
+    finally:
+        set_config(prior)

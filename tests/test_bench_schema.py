@@ -91,13 +91,30 @@ class TestEmit:
         doc = json.loads((tmp_path / "BENCH_T2_demo.json").read_text())
         assert "metrics" not in doc and "observability" not in doc
 
-    def test_emit_is_deterministic(self, helpers, tmp_path, monkeypatch):
+    def test_emit_is_deterministic_outside_meta(self, helpers, tmp_path, monkeypatch):
         monkeypatch.setattr(helpers, "RESULTS_DIR", tmp_path)
         table = format_table(["x"], [(1,)])
         helpers.emit("T3_demo", "demo", table)
-        first = (tmp_path / "BENCH_T3_demo.json").read_bytes()
+        first = json.loads((tmp_path / "BENCH_T3_demo.json").read_text())
         helpers.emit("T3_demo", "demo", table)
-        assert (tmp_path / "BENCH_T3_demo.json").read_bytes() == first
+        second = json.loads((tmp_path / "BENCH_T3_demo.json").read_text())
+        # meta carries wall-clock duration, which legitimately differs
+        # between reruns; everything else must be identical.
+        first.pop("meta")
+        second.pop("meta")
+        assert first == second
+
+    def test_emit_stamps_runtime_meta(self, helpers, tmp_path, monkeypatch):
+        monkeypatch.setattr(helpers, "RESULTS_DIR", tmp_path)
+        helpers.emit("T4_demo", "demo", format_table(["x"], [(1,)]), duration_s=1.25)
+        doc = json.loads((tmp_path / "BENCH_T4_demo.json").read_text())
+        assert doc["meta"]["duration_s"] == 1.25
+        assert doc["meta"]["python"].count(".") == 2
+        assert doc["meta"]["numpy"]
+        # Default duration: elapsed since the helpers module was loaded.
+        helpers.emit("T5_demo", "demo", format_table(["x"], [(1,)]))
+        doc = json.loads((tmp_path / "BENCH_T5_demo.json").read_text())
+        assert doc["meta"]["duration_s"] >= 0.0
 
 
 class TestShippedResults:

@@ -1,0 +1,220 @@
+"""The perf layer's contract: caches change speed, never semantics.
+
+Three guarantees, each enforced here:
+
+* the :mod:`repro.perf` switchboard actually flips/restores knobs;
+* cached verification agrees with uncached verification on random
+  payload/tamper pairs (property test);
+* seeded end-to-end runs are bit-identical with every cache enabled
+  vs. force-disabled, for both engines.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import ProtocolEngine, ProtocolParams, Topology, perf
+from repro.agents.behaviors import ConcealBehavior, MisreportBehavior
+from repro.core.netengine import NetworkedProtocolEngine
+from repro.crypto.hashing import hash_many, hash_value
+from repro.crypto.identity import IdentityManager, Role
+from repro.crypto.signatures import Signature, sign
+from repro.ledger.codec import dump_chain
+from repro.obs import MetricsRegistry
+from repro.workloads.generator import BernoulliWorkload
+
+
+class TestPerfConfig:
+    def test_all_knobs_default_on(self):
+        cfg = perf.PerfConfig()
+        assert all(
+            getattr(cfg, knob)
+            for knob in (
+                "encode_cache",
+                "signature_cache",
+                "reputation_cache",
+                "batched_delays",
+                "codec_fast_path",
+            )
+        )
+
+    def test_overridden_flips_and_restores(self):
+        prior = perf.get_config()
+        with perf.overridden(signature_cache=False) as cfg:
+            assert cfg.signature_cache is False
+            assert cfg.encode_cache is prior.encode_cache
+            assert perf.ACTIVE is cfg
+        assert perf.get_config() == prior
+
+    def test_all_disabled_turns_everything_off(self):
+        prior = perf.get_config()
+        with perf.all_disabled() as cfg:
+            assert not any(
+                (
+                    cfg.encode_cache,
+                    cfg.signature_cache,
+                    cfg.reputation_cache,
+                    cfg.batched_delays,
+                    cfg.codec_fast_path,
+                )
+            )
+        assert perf.get_config() == prior
+
+    def test_configure_flips_one_knob_globally(self):
+        prior = perf.get_config()
+        try:
+            cfg = perf.configure(reputation_cache=False)
+            assert perf.get_config() is cfg
+            assert cfg.reputation_cache is False
+            assert cfg.encode_cache is prior.encode_cache
+        finally:
+            perf.set_config(prior)
+
+
+class TestHashManyStreaming:
+    def test_matches_tuple_hash(self):
+        values = ["a", 1, 2.5, b"\x00\xff", ("nested", True), None]
+        assert hash_many(values) == hash_value(tuple(values))
+
+    def test_generator_input(self):
+        assert hash_many(str(i) for i in range(100)) == hash_value(
+            tuple(str(i) for i in range(100))
+        )
+
+    def test_empty(self):
+        assert hash_many([]) == hash_value(())
+
+    def test_order_sensitivity(self):
+        assert hash_many(["a", "b"]) != hash_many(["b", "a"])
+
+
+def _random_message(rng: random.Random):
+    """A random sign/verify message: raw bytes or a canonical tuple."""
+    kind = rng.randrange(3)
+    if kind == 0:
+        return rng.randbytes(rng.randrange(1, 64))
+    if kind == 1:
+        return ("tx", rng.randbytes(32), rng.random())
+    return (
+        "upload",
+        {"amount": rng.randrange(10_000), "memo": "x" * rng.randrange(8)},
+        rng.randrange(1 << 30),
+    )
+
+
+def _tampered(rng: random.Random, message, signature: Signature):
+    """One random tamper: flip the tag, the claimed signer, or the message."""
+    kind = rng.randrange(3)
+    if kind == 0:
+        i = rng.randrange(len(signature.tag))
+        tag = bytearray(signature.tag)
+        tag[i] ^= 1 << rng.randrange(8)
+        return message, Signature(signer=signature.signer, tag=bytes(tag))
+    if kind == 1:
+        return message, Signature(signer="p_other", tag=signature.tag)
+    mutated = (
+        message + b"\x00" if isinstance(message, bytes) else (*message, "extra")
+    )
+    return mutated, signature
+
+
+class TestVerifyCacheEquivalence:
+    """Property: cached verify == uncached verify, verdict for verdict."""
+
+    def test_random_payload_and_tamper_pairs(self):
+        rng = random.Random(0xC0FFEE)
+        im = IdentityManager(seed=1)
+        key = im.enroll("p0", Role.PROVIDER)
+        im.enroll("p_other", Role.PROVIDER)
+        for _ in range(200):
+            message = _random_message(rng)
+            signature = sign(key, message)
+            cases = [("p0", message, signature)]
+            cases.append(("p0", *_tampered(rng, message, signature)))
+            # Honest signature presented for the wrong sender id.
+            cases.append(("p_other", message, signature))
+            cases.append(("nobody", message, signature))
+            for sender, msg, sig in cases:
+                cached = im.verify(sender, msg, sig)
+                # Ask twice so the second cached call exercises a hit.
+                assert im.verify(sender, msg, sig) == cached
+                with perf.overridden(signature_cache=False):
+                    assert im.verify(sender, msg, sig) == cached
+
+    def test_hit_and_miss_counters(self):
+        obs = MetricsRegistry()
+        im = IdentityManager(seed=2, obs=obs)
+        key = im.enroll("p0", Role.PROVIDER)
+        message = b"payload"
+        signature = sign(key, message)
+        hits = obs.counter("crypto_sig_cache_hits", "")
+        misses = obs.counter("crypto_sig_cache_misses", "")
+        assert im.verify("p0", message, signature)
+        assert (misses.value, hits.value) == (1, 0)
+        assert im.verify("p0", message, signature)
+        assert (misses.value, hits.value) == (1, 1)
+        with perf.overridden(signature_cache=False):
+            assert im.verify("p0", message, signature)
+        assert (misses.value, hits.value) == (1, 1)
+
+    def test_lru_eviction_bound(self):
+        im = IdentityManager(seed=3)
+        key = im.enroll("p0", Role.PROVIDER)
+        im.VERIFY_CACHE_SIZE = 8
+        for i in range(32):
+            message = i.to_bytes(4, "big")
+            assert im.verify("p0", message, sign(key, message))
+        assert len(im._verify_cache) <= 8
+
+
+def _inprocess_tip_and_chain(rounds: int = 3, per_round: int = 8):
+    topo = Topology.regular(l=8, n=4, m=3, r=2)
+    engine = ProtocolEngine(
+        topo,
+        ProtocolParams(f=0.5, b_limit=256),
+        behaviors={"c0": MisreportBehavior(0.4), "c1": ConcealBehavior(0.4)},
+        seed=7,
+    )
+    workload = BernoulliWorkload(topo.providers, p_valid=0.8, seed=8)
+    for _ in range(rounds):
+        engine.run_round(workload.take(per_round))
+    engine.finalize()
+    ledger = next(iter(engine.governors.values())).ledger
+    return ledger.tip_hash(), dump_chain(ledger)
+
+
+def _networked_tip_and_chain(rounds: int = 3, per_round: int = 4):
+    topo = Topology.regular(l=8, n=4, m=3, r=2)
+    engine = NetworkedProtocolEngine(topo, ProtocolParams(f=0.5, delta=0.2), seed=3)
+    workload = BernoulliWorkload(topo.providers, p_valid=0.8, seed=4)
+    for _ in range(rounds):
+        engine.run_round(workload.take(per_round))
+    ledger = next(iter(engine.governors.values())).ledger
+    return ledger.tip_hash(), dump_chain(ledger)
+
+
+class TestSeededRunsBitIdentical:
+    """The headline determinism contract from PERFORMANCE.md."""
+
+    @pytest.mark.parametrize(
+        "runner",
+        [_inprocess_tip_and_chain, _networked_tip_and_chain],
+        ids=["inprocess", "networked"],
+    )
+    def test_caches_on_vs_off(self, runner):
+        tip_on, chain_on = runner()
+        with perf.all_disabled():
+            tip_off, chain_off = runner()
+        assert tip_on == tip_off
+        assert chain_on == chain_off
+
+    def test_single_knob_off_matches_too(self):
+        # batched_delays is the subtlest knob (vectorized RNG draws must
+        # reproduce the sequential stream exactly) — check it alone.
+        tip_on, _ = _networked_tip_and_chain()
+        with perf.overridden(batched_delays=False):
+            tip_off, _ = _networked_tip_and_chain()
+        assert tip_on == tip_off
