@@ -1,18 +1,22 @@
-"""E12 — fault tolerance: the protocol under seeded fault plans.
+"""E12/E13 — fault tolerance and Byzantine resilience under seeded plans.
 
-The poster's analysis assumes a synchronous fault-free network; this
-experiment measures what the implemented recovery machinery preserves
-when that assumption is broken.  Three questions:
+The poster's analysis assumes a synchronous fault-free network; these
+experiments measure what the implemented recovery + audit machinery
+preserves when that assumption is broken.  Four questions:
 
-* **loss sweep** — does 5-10% per-link loss (plus duplication and
+* **loss sweep** (E12) — does 5-10% per-link loss (plus duplication and
   reordering) break agreement, Lemma 2's ``P[unchecked] <= f``, or the
   Theorem-4 loss bound?  (It must not: reliable-channel retransmits and
   broadcast gap repair close every gap.)
-* **crash schedules** — governor crash-recovery, sequencer failover,
-  and collector churn mid-run: do live replicas agree, and how fast
-  does a crashed node rejoin (sim-time recovery latency, blocks synced)?
-* **repair economics** — how much extra traffic the recovery layer
+* **crash schedules** (E12) — governor crash-recovery, sequencer
+  failover, and collector churn mid-run: do live replicas agree, and how
+  fast does a crashed node rejoin (sim-time latency, blocks synced)?
+* **repair economics** (E12) — how much extra traffic the recovery layer
   costs (retransmits, NACKs served) at each loss rate.
+* **Byzantine fraction** (E13) — with 1/4, 2/4, 3/4 of the collectors
+  Byzantine (cartel + adaptive attacker), in-flight tampering, and an
+  equivocating governor: does honest regret stay under the Theorem-1
+  ``rwm_bound``, and how fast is the equivocator quarantined?
 """
 
 from __future__ import annotations
@@ -20,9 +24,18 @@ from __future__ import annotations
 from _helpers import emit
 from repro.agents.behaviors import ConcealBehavior, MisreportBehavior
 from repro.analysis.reporting import format_table
+from repro.byzantine import (
+    AdaptiveAttackerBehavior,
+    CartelPlan,
+    ColludingCollectorBehavior,
+    MessageTamperer,
+    TamperSpec,
+    install_equivocation,
+    reputation_probe,
+)
 from repro.core.netengine import SEQUENCER_PRIMARY, NetworkedProtocolEngine
 from repro.core.params import ProtocolParams
-from repro.core.regret import theorem4_bound
+from repro.core.regret import rwm_bound, theorem4_bound
 from repro.faults import FaultPlan, LinkFaultSpec
 from repro.ledger.chain import check_agreement
 from repro.network.topology import Topology
@@ -271,6 +284,156 @@ def test_e12_fault_tolerance(benchmark):
         "E12_faults",
         "E12 (fault tolerance): agreement, Lemma 2, and Theorem 4 under "
         f"seeded fault plans, f = {F}",
+        text,
+        metrics=metrics,
+        registry=obs,
+    )
+    assert all_ok
+
+
+# -- E13: Byzantine-fraction sweep --------------------------------------
+
+#: The round in which the Byzantine governor equivocates its commit vote
+#: (one block per round, so serial == round).
+EQUIVOCATE_SERIAL = 3
+
+
+def _byzantine_sweep_table(obs: MetricsRegistry) -> tuple[str, bool, list[dict]]:
+    """Escalate the Byzantine collector fraction with the auditor on.
+
+    Every run also carries in-flight tampering and a governor that
+    equivocates its commit vote at serial 3; ``c0`` always stays honest
+    (the paper's "at least one well-behaved collector" premise).
+    """
+    cartel = CartelPlan(target_provider="p0", mode="conceal")
+    rows = []
+    structured = []
+    all_ok = True
+    for n_byz in (1, 2, 3):
+        adaptive = AdaptiveAttackerBehavior(defect_above=0.8, p_defect=0.5)
+        roster = [
+            ("c1", ColludingCollectorBehavior(cartel)),
+            ("c2", ColludingCollectorBehavior(cartel)),
+            ("c3", adaptive),
+        ]
+        behaviors = dict(roster[:n_byz])
+        topo = Topology.regular(l=8, n=4, m=3, r=2)
+        engine = NetworkedProtocolEngine(
+            topo,
+            ProtocolParams(f=F, delta=0.2),
+            behaviors=behaviors,
+            seed=150 + n_byz,
+            resilience=True,
+            obs=obs,
+        )
+        if "c3" in behaviors:
+            adaptive.bind_probe(reputation_probe(engine, "g0", "c3"))
+        tamperer = MessageTamperer(
+            TamperSpec(
+                strip_signature=0.05, flip_label=0.05, replay=0.05,
+                corrupt_block=0.10,
+            ),
+            seed=160 + n_byz,
+            obs=obs,
+        )
+        engine.install_faults(FaultPlan(seed=170 + n_byz), tamperer=tamperer)
+        install_equivocation(engine, "g2", serial=EQUIVOCATE_SERIAL)
+        _run(engine, topo, seed=180 + n_byz)
+
+        honest = [
+            gid for gid in topo.governors if gid not in engine.quarantined_nodes
+        ]
+        try:
+            check_agreement([engine.governors[gid].ledger for gid in honest])
+            agreement = True
+        except Exception:
+            agreement = False
+        safety = sum(
+            len(engine.auditors[gid].report.safety_violations()) for gid in honest
+        ) + len(engine.harness_auditor.report.safety_violations())
+        regret = max(
+            engine.governors[gid].metrics.expected_loss for gid in honest
+        )
+        bound = rwm_bound(s_min=0.0, r=topo.r, beta=engine.params.beta)
+        caught = [
+            rnd for (_t, rnd, node, _v) in engine.quarantine_log if node == "g2"
+        ]
+        latency = caught[0] - EQUIVOCATE_SERIAL if caught else None
+        ok = (
+            agreement
+            and safety == 0
+            and regret <= bound
+            and latency is not None
+            and latency <= 2
+        )
+        all_ok = all_ok and ok
+        structured.append(
+            {
+                "byzantine_collectors": n_byz,
+                "byzantine_fraction": n_byz / 4,
+                "tampered_messages": tamperer.stats.total,
+                "agreement": agreement,
+                "safety_violations": safety,
+                "max_honest_regret": regret,
+                "rwm_bound": bound,
+                "equivocator_quarantined": bool(caught),
+                "quarantine_latency_rounds": latency,
+                "ok": ok,
+            }
+        )
+        rows.append(
+            (
+                f"{n_byz}/4",
+                tamperer.stats.total,
+                "yes" if agreement else "NO",
+                safety,
+                round(regret, 2),
+                round(bound, 2),
+                "yes" if regret <= bound else "NO",
+                "yes" if caught else "NO",
+                latency if latency is not None else "-",
+            )
+        )
+    table = format_table(
+        [
+            "byz collectors",
+            "tampered msgs",
+            "agreement",
+            "safety viols",
+            "max honest regret",
+            "rwm bound",
+            "within",
+            "equivocator caught",
+            "latency (rounds)",
+        ],
+        rows,
+    )
+    return table, all_ok, structured
+
+
+def _e13_tables() -> tuple[str, bool, dict, MetricsRegistry]:
+    obs = MetricsRegistry()
+    sweep, ok, sweep_metrics = _byzantine_sweep_table(obs)
+    text = (
+        "-- Byzantine-fraction sweep (10 rounds x 8 tx; cartel + adaptive "
+        "collectors, in-flight tampering, governor equivocation at serial "
+        f"{EQUIVOCATE_SERIAL}; auditor + quarantine on) --\n"
+        f"{sweep}"
+    )
+    metrics = {"byzantine_sweep": sweep_metrics, "all_ok": ok}
+    return text, ok, metrics, obs
+
+
+def test_e13_byzantine_fractions(benchmark):
+    """E13: Theorem-1 regret and quarantine latency vs Byzantine fraction."""
+    text, all_ok, metrics, obs = benchmark.pedantic(
+        _e13_tables, rounds=1, iterations=1
+    )
+    emit(
+        "E13_byzantine",
+        "E13 (Byzantine resilience): honest regret vs rwm_bound and "
+        "equivocator quarantine latency as the Byzantine collector "
+        f"fraction grows, f = {F}",
         text,
         metrics=metrics,
         registry=obs,

@@ -67,16 +67,51 @@ class Collector:
         can always check — the paper's efficiency concern is only the
         governors), then lets the behaviour decide what to upload.
 
+        Single-upload view of :meth:`process_all`; a behaviour that
+        equivocates loses its second upload on this path.
+
         Returns:
             The signed labeled transaction, or None if concealed.
         """
+        uploads = self.process_all(tx, oracle)
+        return uploads[0] if uploads else None
+
+    def process_all(
+        self, tx: SignedTransaction, oracle: ValidityOracle
+    ) -> list[LabeledTransaction]:
+        """Byzantine-aware labelling: zero, one, or two signed uploads.
+
+        Extends :meth:`process` with two *optional* behaviour hooks
+        (looked up with ``getattr``, so every pre-existing behaviour
+        works unchanged):
+
+        * ``label_for_tx(tx, true_valid, rng)`` — provider-aware
+          labelling, used by colluding cartels that target one
+          provider's transactions while staying honest elsewhere;
+        * ``conflicting_label_for(tx, primary_label, rng)`` — a second,
+          *differently labelled* signed upload for the same transaction.
+          Both uploads carry valid collector signatures, which is
+          exactly the two-signed-messages equivocation proof the safety
+          auditor quarantines on.
+        """
         true_valid = oracle.validate(tx)
-        label = self.behavior.label_for(true_valid, self.rng)
+        label_for_tx = getattr(self.behavior, "label_for_tx", None)
+        if label_for_tx is not None:
+            label = label_for_tx(tx, true_valid, self.rng)
+        else:
+            label = self.behavior.label_for(true_valid, self.rng)
         if label is None:
             self.conceals += 1
-            return None
+            return []
         self.uploads += 1
-        return make_labeled_transaction(self.key, tx, label)
+        uploads = [make_labeled_transaction(self.key, tx, label)]
+        conflicting = getattr(self.behavior, "conflicting_label_for", None)
+        if conflicting is not None:
+            second = conflicting(tx, label, self.rng)
+            if second is not None and second != label:
+                self.uploads += 1
+                uploads.append(make_labeled_transaction(self.key, tx, second))
+        return uploads
 
     def maybe_forge(self, timestamp: float) -> LabeledTransaction | None:
         """Attempt a forgery if the behaviour calls for one.

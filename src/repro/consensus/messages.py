@@ -16,6 +16,7 @@ from repro.ledger.block import Block
 __all__ = [
     "VRFAnnouncement",
     "BlockProposal",
+    "CommitVote",
     "NewStateProposal",
     "StateAck",
     "StateCommit",
@@ -41,6 +42,40 @@ class BlockProposal:
     block: Block
     leader: str
     kind: str = field(default="block-proposal", repr=False)
+
+
+@dataclass(frozen=True)
+class CommitVote:
+    """A governor's signed commitment to one block hash at one serial.
+
+    The safety auditor's equivocation surface: honest governors send an
+    identical vote to every peer after appending a block; a Byzantine
+    governor that signs two different hashes for one serial hands any
+    observer holding both votes a *provable* violation (quarantine bar).
+
+    Votes ride a fixed-delay, fault-exempt network path (kind
+    ``audit-commit`` is in :attr:`repro.faults.FaultInjector.EXEMPT_KINDS`
+    and their sends draw no latency RNG), so enabling the auditor leaves
+    every seeded simulation stream — and therefore the ledgers —
+    bit-identical.
+    """
+
+    governor: str
+    serial: int
+    block_hash: bytes
+    round_number: int
+    signature: Signature
+    kind: str = field(default="audit-commit", repr=False)
+
+    def signed_message(self) -> tuple:
+        """The structure the governor's signature covers."""
+        return (
+            "audit-commit",
+            self.governor,
+            self.serial,
+            self.block_hash,
+            self.round_number,
+        )
 
 
 @dataclass(frozen=True)

@@ -41,6 +41,24 @@ a crashed collector is retired from every governor's reputation book
 and re-admitted under the membership churn rules (median bootstrap)
 when it returns.  A crashed elected leader fails over deterministically
 to the next live governor at pack time.
+
+**Safety auditing & quarantine** (``audit``, on by default — see
+:mod:`repro.audit.config`): every governor runs a
+:class:`~repro.audit.SafetyAuditor`.  After appending a block each
+governor sends a signed :class:`~repro.consensus.messages.CommitVote`
+to every peer; a governor that signs two different hashes for one
+serial (equivocation) hands any observer holding both votes a
+*provable* violation.  A vote that contradicts the receiver's own
+committed hash is forwarded to all peers as evidence, so the peer
+subset that received the conflicting vote completes the proof.  On a
+provable violation the engine **quarantines** the culprit: its
+payloads are suppressed at every honest receiver, it is excluded from
+leader election, and (for collectors) it is retired from every
+reputation book.  Readmission goes through the same median-bootstrap
+churn path as crash recovery (:meth:`release_quarantine`).  Audit
+traffic rides a fixed-delay, fault-exempt path that consumes no RNG
+from any simulation stream, so seeded ledgers are bit-identical with
+the auditor on or off (locked in by ``tests/test_audit.py``).
 """
 
 from __future__ import annotations
@@ -55,11 +73,16 @@ from repro.agents.behaviors import CollectorBehavior, HonestBehavior
 from repro.agents.collector import Collector
 from repro.agents.governor import Governor
 from repro.agents.provider import Provider
+from repro.audit import config as audit_config
+from repro.audit.auditor import AuditViolation, SafetyAuditor, ViolationType
+from repro.audit.config import AuditConfig
+from repro.consensus.messages import CommitVote
 from repro.consensus.pos import LeaderElection
 from repro.consensus.stake import StakeLedger
 from repro.core.params import ProtocolParams
 from repro.core.rewards import distribute_rewards
 from repro.crypto.identity import IdentityManager, Role
+from repro.crypto.signatures import sign
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
@@ -136,6 +159,10 @@ class NetworkedProtocolEngine:
             and sim-time spans (``round`` / ``pack`` / ``drain_recovery``).
             Same no-op convention as ``resilience``: absent or disabled,
             runs are bit-identical (see OBSERVABILITY.md).
+        audit: Safety-auditor knobs; None snapshots the process-wide
+            :mod:`repro.audit.config` switchboard (auditor ON by
+            default).  With no violations present, auditor-on and
+            auditor-off seeded runs produce bit-identical ledgers.
     """
 
     def __init__(
@@ -149,6 +176,7 @@ class NetworkedProtocolEngine:
         stake: Mapping[str, int] | None = None,
         resilience: bool = False,
         obs: MetricsRegistry | None = None,
+        audit: AuditConfig | None = None,
     ):
         if params.delta < 2 * max_delay:
             raise ConfigurationError(
@@ -194,10 +222,31 @@ class NetworkedProtocolEngine:
             "Node crash/recover transitions applied by the engine",
             labels=("event",),
         )
+        self._m_audit_quarantines = self.obs.counter(
+            "audit_quarantines_total",
+            "Nodes quarantined on a provable violation, by role",
+            labels=("role",),
+        )
+        self._m_audit_votes = self.obs.counter(
+            "audit_commit_votes_total",
+            "Commit votes sent, by origin (own vote vs forwarded evidence)",
+            labels=("origin",),
+        )
         self.injector: FaultInjector | None = None
         self._crashed: set[str] = set()
         # (sim time, "crash"/"recover", node id, blocks synced on recovery)
         self.fault_log: list[tuple[float, str, str, int]] = []
+        # -- safety auditing / quarantine -------------------------------
+        self.audit = audit if audit is not None else audit_config.get_config()
+        self.harness_auditor = SafetyAuditor("harness", im=None, obs=self.obs)
+        self._quarantined: set[str] = set()
+        # (sim time, round, node id, violation type)
+        self.quarantine_log: list[tuple[float, int, str, str]] = []
+        # gid -> vote strategy override (Byzantine equivocation hook);
+        # called as strategy(gid, block, peers) -> {peer: CommitVote}.
+        self._vote_strategies: dict = {}
+        # evidence-forward dedup: (forwarder, vote governor, serial, hash)
+        self._forwarded_votes: set[tuple] = set()
         self._master = np.random.default_rng(seed)
         self._round = 0
         self._reevaluated_queue: dict[str, TxRecord] = {}
@@ -248,6 +297,13 @@ class NetworkedProtocolEngine:
             gov.register_topology(topology)
             self.governors[gid] = gov
             self._round_records[gid] = []
+        # One auditor per governor (created even when disabled, so the
+        # audit_* metric families are always registered; disabled
+        # configs simply never call into them).
+        self.auditors: dict[str, SafetyAuditor] = {
+            gid: SafetyAuditor(gid, im=self.im, obs=self.obs)
+            for gid in topology.governors
+        }
 
         initial_stake = dict(stake) if stake else {g: 1 for g in topology.governors}
         self.stake = StakeLedger.from_balances(initial_stake)
@@ -296,23 +352,42 @@ class NetworkedProtocolEngine:
 
     def _collector_on_feed(self, cid: str):
         def handle(sender: str, tx: SignedTransaction) -> None:
-            labeled = self.collectors[cid].process(tx, self.oracle)
-            if labeled is not None:
+            for labeled in self.collectors[cid].process_all(tx, self.oracle):
                 self.transcript.collector_uploads.add(tx.tx_id)
                 self.broadcast.broadcast("uploads", cid, labeled)
         return handle
 
     def _governor_on_message(self, gid: str):
         def handle(message: Message) -> None:
+            payload = message.payload
+            if isinstance(payload, CommitVote):
+                self._on_commit_vote(gid, payload)
+                return
             if self.broadcast.on_message(gid, message):
                 return
-            payload = message.payload
             if isinstance(payload, ArgueRequest):
+                if message.sender in self._quarantined:
+                    return
                 self._governor_on_argue(gid, payload)
         return handle
 
     def _governor_on_upload(self, gid: str):
         def handle(sender: str, upload: LabeledTransaction) -> None:
+            # Quarantine containment: a provably-Byzantine collector's
+            # uploads are suppressed at every honest receiver.  (The
+            # broadcast seqno was still consumed upstream, so honest
+            # traffic behind it keeps flowing.)
+            if sender in self._quarantined:
+                return
+            if self.audit.enabled and self.audit.commit_votes:
+                violation = self.auditors[gid].observe_upload(upload, self._round)
+                if (
+                    violation is not None
+                    and violation.provable
+                    and self.audit.quarantine
+                ):
+                    self.quarantine_node(violation.culprit, violation)
+                    return
             governor = self.governors[gid]
             tx_id = upload.tx.tx_id
             fresh = not governor.has_buffered(tx_id)
@@ -339,7 +414,38 @@ class NetworkedProtocolEngine:
 
     def _governor_on_block(self, gid: str):
         def handle(sender: str, block: Block) -> None:
-            self.governors[gid].ledger.append(block)
+            governor = self.governors[gid]
+            deliver = block
+            if self.audit.enabled and self.audit.block_integrity:
+                store_hash = (
+                    self.store.retrieve(block.serial).hash()
+                    if 1 <= block.serial <= self.store.height
+                    else None
+                )
+                violations = self.auditors[gid].audit_block(
+                    block,
+                    expected_serial=governor.ledger.height + 1,
+                    expected_prev=governor.ledger.tip_hash(),
+                    round_number=self._round,
+                    store_hash=store_hash,
+                )
+                # Containment for in-flight block tampering: fall back to
+                # the authentic published copy so the local chain stays
+                # intact (the tampered copy's own hash would poison the
+                # next append).
+                if (
+                    any(v.type is ViolationType.BLOCK_TAMPER for v in violations)
+                    and store_hash is not None
+                ):
+                    deliver = self.store.retrieve(block.serial)
+            governor.ledger.append(deliver)
+            if (
+                self.audit.enabled
+                and self.audit.commit_votes
+                and gid not in self._crashed
+                and gid not in self._quarantined
+            ):
+                self._send_commit_votes(gid, deliver)
         return handle
 
     def _governor_on_argue(self, gid: str, request: ArgueRequest) -> None:
@@ -347,19 +453,198 @@ class NetworkedProtocolEngine:
         if record is not None:
             self._reevaluated_queue[request.tx_id] = record
 
+    # -- safety auditing: commit votes & quarantine ------------------------
+
+    def make_commit_vote(self, gid: str, serial: int, block_hash: bytes) -> CommitVote:
+        """Build ``gid``'s signed commit vote for (serial, block_hash).
+
+        Public so Byzantine vote strategies (equivocation scenarios) can
+        mint *validly signed* conflicting votes — the provable-violation
+        definition requires real signatures on both sides.
+        """
+        message = ("audit-commit", gid, serial, block_hash, self._round)
+        return CommitVote(
+            governor=gid,
+            serial=serial,
+            block_hash=block_hash,
+            round_number=self._round,
+            signature=sign(self.governors[gid].key, message),
+        )
+
+    def set_vote_strategy(self, gid: str, strategy) -> None:
+        """Override ``gid``'s commit-vote behaviour (Byzantine hook).
+
+        ``strategy(gid, block, peers) -> {peer: CommitVote}`` replaces
+        the honest send-same-vote-to-everyone flow; pass ``None`` to
+        restore honesty.
+        """
+        if strategy is None:
+            self._vote_strategies.pop(gid, None)
+        else:
+            self._vote_strategies[gid] = strategy
+
+    def _send_commit_votes(self, gid: str, block: Block) -> None:
+        """Send ``gid``'s post-append commit vote to every peer governor.
+
+        Votes travel at exactly ``max_delay`` (no latency RNG draw) and
+        are fault-exempt by kind, so the auditor layer consumes nothing
+        from any seeded simulation stream.
+        """
+        peers = [g for g in self.topology.governors if g != gid]
+        strategy = self._vote_strategies.get(gid)
+        if strategy is not None:
+            votes = strategy(gid, block, peers)
+        else:
+            vote = self.make_commit_vote(gid, block.serial, block.hash())
+            votes = {peer: vote for peer in peers}
+        for peer, vote in votes.items():
+            self.network.send(
+                gid, peer, vote, fixed_delay=self.network.max_delay
+            )
+            self._m_audit_votes.labels(origin="own").inc()
+
+    def _on_commit_vote(self, gid: str, vote: CommitVote) -> None:
+        """Receiver side of the vote flow: audit, forward evidence, contain."""
+        if not (self.audit.enabled and self.audit.commit_votes):
+            return
+        if gid in self._crashed or gid in self._quarantined:
+            return
+        if vote.governor in self._quarantined:
+            return  # already contained; further evidence is redundant
+        governor = self.governors[gid]
+        own_hash = (
+            governor.ledger.retrieve(vote.serial).hash()
+            if 1 <= vote.serial <= governor.ledger.height
+            else None
+        )
+        violation, mismatch = self.auditors[gid].ingest_vote(
+            vote, own_hash, self._round
+        )
+        if mismatch:
+            # The vote contradicts this governor's committed hash: forward
+            # it verbatim so peers holding the *other* signed vote can
+            # complete the two-signatures proof.
+            self._forward_evidence(gid, vote)
+        if violation is not None and violation.provable and self.audit.quarantine:
+            self.quarantine_node(violation.culprit, violation)
+
+    def _forward_evidence(self, gid: str, vote: CommitVote) -> None:
+        key = (gid, vote.governor, vote.serial, vote.block_hash)
+        if key in self._forwarded_votes:
+            return
+        self._forwarded_votes.add(key)
+        for peer in self.topology.governors:
+            if peer in (gid, vote.governor):
+                continue
+            self.network.send(
+                gid, peer, vote, fixed_delay=self.network.max_delay
+            )
+            self._m_audit_votes.labels(origin="forward").inc()
+
+    @property
+    def quarantined_nodes(self) -> frozenset[str]:
+        """Nodes currently quarantined on a provable violation."""
+        return frozenset(self._quarantined)
+
+    def quarantine_node(self, node_id: str, violation: AuditViolation) -> None:
+        """Contain a provably-Byzantine node.
+
+        Its uploads/argues are suppressed at every honest receiver, it
+        is skipped by leader election, and a collector is additionally
+        retired from every reputation book (the churn rules).  The
+        network link stays up: quarantine is an application-layer
+        verdict, not a crash.
+        """
+        if node_id in self._quarantined:
+            return
+        self._quarantined.add(node_id)
+        if node_id in self.governors:
+            role = "governor"
+        elif node_id in self.collectors:
+            role = "collector"
+            for governor in self.governors.values():
+                if governor.book.is_registered(node_id):
+                    governor.drop_collector(node_id)
+        else:
+            role = "other"
+        self.quarantine_log.append(
+            (self.sim.now, self._round, node_id, violation.type.value)
+        )
+        self._m_audit_quarantines.labels(role=role).inc()
+
+    def release_quarantine(self, node_id: str) -> None:
+        """Readmit a quarantined node through the churn path.
+
+        Mirrors crash recovery: a governor resyncs its replica from the
+        published store and fast-forwards its broadcast cursors; a
+        collector skips its missed feed and re-enters every reputation
+        book at the incumbents' **median** weight (the bootstrap rule) —
+        readmission never restores pre-quarantine standing.
+        """
+        if node_id not in self._quarantined:
+            return
+        self._quarantined.discard(node_id)
+        if node_id in self.governors:
+            sync_replica(self.governors[node_id].ledger, self.store)
+            for group in ("uploads", "blocks"):
+                self.broadcast.skip_to(
+                    group, node_id, self.broadcast.current_seqno(group)
+                )
+        elif node_id in self.collectors:
+            group = f"feed:{node_id}"
+            self.broadcast.skip_to(group, node_id, self.broadcast.current_seqno(group))
+            providers = self.topology.providers_of(node_id)
+            for governor in self.governors.values():
+                if not governor.book.is_registered(node_id):
+                    governor.admit_collector(node_id, providers, bootstrap="median")
+
+    def _end_of_round_audit(self, round_number: int) -> None:
+        """Per-round invariant sweep (books, agreement, Theorem-1 bound)."""
+        cfg = self.audit
+        down = self._crashed | self._quarantined
+        honest = [g for g in self.topology.governors if g not in down]
+        if cfg.reputation_invariants:
+            for gid in honest:
+                self.auditors[gid].audit_book(
+                    self.governors[gid].book, round_number
+                )
+        if len(honest) >= 2:
+            self.harness_auditor.audit_agreement(
+                [self.governors[gid].ledger for gid in honest], round_number
+            )
+        if cfg.theorem_guardrail and honest:
+            measured = max(
+                self.governors[gid].metrics.expected_loss for gid in honest
+            )
+            self.harness_auditor.audit_regret(
+                measured,
+                r=self.topology.r,
+                beta=self.params.beta,
+                round_number=round_number,
+                s_min=cfg.s_min,
+            )
+
     # -- fault injection & crash recovery ---------------------------------
 
-    def install_faults(self, plan: FaultPlan) -> FaultInjector:
+    def install_faults(
+        self, plan: FaultPlan, tamperer: object | None = None
+    ) -> FaultInjector:
         """Run this engine under a seeded fault plan.
 
         Message faults intercept every send on the engine's network;
         node faults route through the engine's crash/recovery wiring so
         a "crash" is a real crash-stop (volatile state lost, churn
-        applied), not just a link cut.  Returns the installed injector
-        (its ``stats`` record what actually fired).
+        applied), not just a link cut.  An optional ``tamperer``
+        (:class:`repro.byzantine.tampering.MessageTamperer`) adds
+        in-flight Byzantine corruption on top of the omission plan.
+        Returns the installed injector (its ``stats`` record what
+        actually fired).
         """
         injector = FaultInjector(
-            plan=plan, on_crash=self.crash_node, on_recover=self.recover_node
+            plan=plan,
+            on_crash=self.crash_node,
+            on_recover=self.recover_node,
+            tamperer=tamperer,
         )
         injector.install(self.network)
         self.injector = injector
@@ -473,16 +758,23 @@ class NetworkedProtocolEngine:
         self._m_crash_events.labels(event="recover").inc()
 
     def _live_leader(self, elected: str) -> str:
-        """Deterministic leader failover: next live governor in order."""
-        if elected not in self._crashed:
+        """Deterministic leader failover: next eligible governor in order.
+
+        Skips crashed *and* quarantined governors — a provably-Byzantine
+        governor must never pack a block while contained.
+        """
+        down = self._crashed | self._quarantined
+        if elected not in down:
             return elected
         order = list(self.topology.governors)
         start = order.index(elected)
         for offset in range(1, len(order) + 1):
             candidate = order[(start + offset) % len(order)]
-            if candidate not in self._crashed:
+            if candidate not in down:
                 return candidate
-        raise SimulationError("all governors are crashed; cannot pack a block")
+        raise SimulationError(
+            "all governors are crashed or quarantined; cannot pack a block"
+        )
 
     # -- round execution ----------------------------------------------------
 
@@ -617,6 +909,9 @@ class NetworkedProtocolEngine:
         rewards = distribute_rewards(self.params, self.governors[leader_id].book)
         for cid, amount in rewards.items():
             self.rewards_paid[cid] = self.rewards_paid.get(cid, 0.0) + amount
+
+        if self.audit.enabled:
+            self._end_of_round_audit(round_number)
 
         self._m_rounds.inc()
         self._m_tx_offered.inc(len(specs))

@@ -39,6 +39,7 @@ from repro.agents.behaviors import CollectorBehavior, HonestBehavior
 from repro.agents.collector import Collector
 from repro.agents.governor import Governor
 from repro.agents.provider import Provider
+from repro.audit import config as audit_config
 from repro.consensus.pos import LeaderElection
 from repro.consensus.stake import StakeLedger, StakeTransfer
 from repro.consensus.messages import NewStateProposal
@@ -148,6 +149,9 @@ class ProtocolEngine:
         self.transcript = RunTranscript()
         self.store = BlockStore()
         self.metrics = EngineMetrics()
+        # Harness-level AuditReport, filled by finalize() when the
+        # safety auditor is enabled (repro.audit.config).
+        self.audit_report = None
         self._round = 0
         self._reevaluated_queue: dict[str, TxRecord] = {}
         self._master = np.random.default_rng(seed)
@@ -268,8 +272,7 @@ class ProtocolEngine:
         uploads: list[LabeledTransaction] = []
         for cid, tx in deliveries:
             collector = self.collectors[cid]
-            labeled = collector.process(tx, self.oracle)
-            if labeled is not None:
+            for labeled in collector.process_all(tx, self.oracle):
                 uploads.append(labeled)
                 self.transcript.collector_uploads.add(tx.tx_id)
         # Forgery opportunities: once per collector per round.
@@ -477,11 +480,28 @@ class ProtocolEngine:
 
         Theorem 1 assumes all real states are revealed "sometime"; calling
         this at the end of a run closes the books so governor metrics
-        reflect the full stream.
+        reflect the full stream.  When the safety auditor is enabled
+        (:mod:`repro.audit.config`, the default) it then runs the
+        harness-level audit — cross-replica agreement plus the Theorem-1
+        regret guardrail — and leaves the verdict in ``audit_report``.
         """
         for governor in self.governors.values():
             for tx_id in list(governor._pending_unchecked):
                 governor.reveal_truth(tx_id, self.oracle)
+        cfg = audit_config.get_config()
+        if cfg.enabled:
+            from repro.audit.auditor import harness_audit
+
+            self.audit_report = harness_audit(
+                "harness",
+                self.ledgers(),
+                list(self.governors.values()),
+                r=self.topology.r,
+                beta=self.params.beta,
+                round_number=self._round,
+                s_min=cfg.s_min,
+                obs=self.obs,
+            )
 
     # -- convenience accessors -----------------------------------------------
 

@@ -13,9 +13,17 @@
 
 Certain protocol-internal control traffic must stay out of scope or the
 recovery machinery would sabotage itself: acks and gap-repair NACKs are
-themselves the *retry* path, so the injector exempts payload kinds in
-:attr:`EXEMPT_KINDS` from message faults (crashes still silence them —
-a dead node sends nothing).
+themselves the *retry* path, and the auditor's commit votes must not
+perturb (or be perturbed by) the fault RNG stream, so the injector
+exempts payload kinds in :attr:`EXEMPT_KINDS` from message faults
+(crashes still silence them — a dead node sends nothing).  The exempt
+check runs before any RNG draw, which is what keeps auditor-on and
+auditor-off runs bit-identical.
+
+Beyond omission faults, the injector optionally consults a
+:class:`~repro.byzantine.tampering.MessageTamperer` (its own seeded
+RNG) and carries its payload substitutions through
+:attr:`~repro.faults.plan.FaultAction.replace`.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ class FaultInjectionStats:
     dropped: int = 0
     duplicated: int = 0
     reordered: int = 0
+    tampered: int = 0
     crashes: int = 0
     recoveries: int = 0
     partitions_opened: int = 0
@@ -62,11 +71,15 @@ class FaultInjector:
     """
 
     #: Payload kinds never subjected to message faults (see module doc).
-    EXEMPT_KINDS = frozenset({"rel-ack", "abcast-nack"})
+    EXEMPT_KINDS = frozenset({"rel-ack", "abcast-nack", "audit-commit"})
 
     plan: FaultPlan
     on_crash: Callable[[str], None] | None = None
     on_recover: Callable[[str], None] | None = None
+    #: Optional Byzantine tamperer consulted per non-exempt message; its
+    #: substitutions flow through ``FaultAction.replace``.  Draws from
+    #: its own seeded RNG, never from the injector's.
+    tamperer: Any | None = None
     stats: FaultInjectionStats = field(default_factory=FaultInjectionStats)
 
     def __post_init__(self) -> None:
@@ -138,9 +151,17 @@ class FaultInjector:
         self.stats.messages_seen += 1
         if getattr(payload, "kind", None) in self.EXEMPT_KINDS:
             return _CLEAN
+        # The tamperer runs before the omission draws but on its own RNG,
+        # so adding/removing it never perturbs the loss/dup/reorder
+        # stream of an existing seeded plan.
+        replacement = None
+        if self.tamperer is not None:
+            replacement = self.tamperer.maybe_tamper(sender, receiver, payload)
+            if replacement is not None:
+                self.stats.tampered += 1
         spec = self.plan.spec_for(sender, receiver)
         if spec.is_clean:
-            return _CLEAN
+            return _CLEAN if replacement is None else FaultAction(replace=replacement)
         if spec.loss and self._rng.random() < spec.loss:
             self.stats.dropped += 1
             return FaultAction(drop=True)
@@ -152,6 +173,8 @@ class FaultInjector:
         if spec.reorder and self._rng.random() < spec.reorder:
             self.stats.reordered += 1
             extra_delay = float(self._rng.uniform(0.0, spec.reorder_delay)) or spec.reorder_delay
-        if duplicates == 0 and extra_delay == 0.0:
+        if duplicates == 0 and extra_delay == 0.0 and replacement is None:
             return _CLEAN
-        return FaultAction(duplicates=duplicates, extra_delay=extra_delay)
+        return FaultAction(
+            duplicates=duplicates, extra_delay=extra_delay, replace=replacement
+        )

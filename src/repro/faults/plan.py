@@ -15,6 +15,7 @@ tests are exactly reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.exceptions import ConfigurationError
 
@@ -107,11 +108,17 @@ class PartitionWindow:
 
 @dataclass(frozen=True)
 class FaultAction:
-    """What the injector decided for one message (simnet hook contract)."""
+    """What the injector decided for one message (simnet hook contract).
+
+    ``replace`` extends the omission-fault contract to Byzantine
+    *tampering*: when not None, the network delivers this payload in
+    place of the original (see :mod:`repro.byzantine.tampering`).
+    """
 
     drop: bool = False
     duplicates: int = 0
     extra_delay: float = 0.0
+    replace: Any = None
 
 
 @dataclass

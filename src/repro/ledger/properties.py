@@ -22,7 +22,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.exceptions import LedgerError
+from repro.exceptions import (
+    AgreementError,
+    ChainIntegrityError,
+    LedgerError,
+    SkippedBlockError,
+)
 from repro.ledger.chain import Ledger, check_agreement
 from repro.ledger.transaction import CheckStatus, Label
 
@@ -91,23 +96,24 @@ def check_all_properties(
         raise LedgerError("need at least one replica to check properties")
     report = PropertyReport()
 
+    # Catch exactly the checker's violation exceptions: anything else
+    # (including an auditor-raised violation crossing this layer) is a
+    # bug in the run, not a property verdict, and must propagate.
     try:
         check_agreement(ledgers)
-    except Exception as exc:  # AgreementError
+    except AgreementError as exc:
         report.agreement = False
         report.violations.append(f"agreement: {exc}")
 
     for ledger in ledgers:
         try:
             ledger.verify_integrity()
-        except Exception as exc:
-            # verify_integrity distinguishes the two failure modes.
-            if "serial" in str(exc):
-                report.no_skipping = False
-                report.violations.append(f"no-skipping: {exc}")
-            else:
-                report.chain_integrity = False
-                report.violations.append(f"chain-integrity: {exc}")
+        except SkippedBlockError as exc:
+            report.no_skipping = False
+            report.violations.append(f"no-skipping: {exc}")
+        except ChainIntegrityError as exc:
+            report.chain_integrity = False
+            report.violations.append(f"chain-integrity: {exc}")
 
     # Almost No Creation: everything in any replica must have been both
     # provider-broadcast and collector-uploaded.

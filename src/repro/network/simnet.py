@@ -135,6 +135,13 @@ class Simulator:
     def run(self, until: float | None = None, max_events: int = 10_000_000) -> int:
         """Drain the event queue, optionally stopping at time ``until``.
 
+        With ``until`` given, the clock always ends exactly at ``until``
+        — including when the queue empties early.  Engines rely on this
+        to make phase boundaries (and hence transaction timestamps)
+        independent of which straggler event happened to execute last,
+        so optional traffic (audit votes) cannot shift the next round's
+        start time.
+
         Returns the number of events executed.  ``max_events`` is a
         runaway guard: exceeding it raises instead of hanging a bench.
         """
@@ -142,13 +149,14 @@ class Simulator:
         while self.queue:
             next_time = self.queue.peek_time()
             if until is not None and next_time is not None and next_time > until:
-                self.clock.advance_to(until)
                 break
             if not self.step():
                 break
             executed += 1
             if executed > max_events:
                 raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
+        if until is not None and self.now < until:
+            self.clock.advance_to(until)
         return executed
 
 
@@ -235,13 +243,30 @@ class SyncNetwork:
             return self.max_delay
         return float(self._rng.uniform(self.min_delay, self.max_delay))
 
-    def send(self, sender: str, receiver: str, payload: Any, size_hint: int = 1) -> None:
+    def send(
+        self,
+        sender: str,
+        receiver: str,
+        payload: Any,
+        size_hint: int = 1,
+        fixed_delay: float | None = None,
+    ) -> None:
         """Send one message; delivery is scheduled on the event loop.
 
         Dropped silently if either endpoint is partitioned — the sender
         cannot tell, exactly as with a real crash fault.  Dropped
         messages (partition or fault injection) are counted in
         ``stats.messages_dropped`` and never in the sent counters.
+
+        A fault hook may substitute the payload (``action.replace`` —
+        Byzantine in-flight tampering); the receiver then gets the
+        substituted object with the original timing.
+
+        ``fixed_delay`` bypasses the latency RNG entirely and delivers
+        after exactly that many seconds (must respect the synchrony
+        bound).  Audit traffic uses it so that enabling the auditor
+        consumes no draw from the latency stream — seeded runs stay
+        bit-identical with the auditor on or off.
         """
         if receiver not in self._handlers:
             raise SimulationError(f"no handler registered for receiver {receiver!r}")
@@ -258,11 +283,16 @@ class SyncNetwork:
             self.stats.record_drop()
             self._m_dropped.labels(reason="fault").inc()
             return
+        if action is not None:
+            replacement = getattr(action, "replace", None)
+            if replacement is not None:
+                payload = replacement
         copies = 1 + (int(getattr(action, "duplicates", 0)) if action is not None else 0)
         extra_delay = float(getattr(action, "extra_delay", 0.0)) if action is not None else 0.0
+        delay = float(fixed_delay) if fixed_delay is not None else self._draw_delay()
         self._schedule_delivery(
             sender, receiver, payload, size_hint,
-            self.sim.now, self._draw_delay(), copies, extra_delay,
+            self.sim.now, delay, copies, extra_delay,
         )
 
     def _schedule_delivery(

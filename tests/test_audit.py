@@ -1,0 +1,424 @@
+"""Safety auditor: config switchboard, invariant checks, quarantine,
+and the bit-identity contract (auditor on == auditor off on clean runs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit import (
+    AuditConfig,
+    AuditReport,
+    AuditViolation,
+    SafetyAuditor,
+    ViolationType,
+    harness_audit,
+)
+from repro.audit import config as audit_config
+from repro.core.netengine import NetworkedProtocolEngine
+from repro.core.params import ProtocolParams
+from repro.core.protocol import ProtocolEngine
+from repro.core.regret import rwm_bound
+from repro.crypto.signatures import Signature, SigningKey, sign
+from repro.consensus.messages import CommitVote
+from repro.crypto.identity import IdentityManager, Role
+from repro.ledger.block import GENESIS_PREV_HASH, Block
+from repro.ledger.transaction import (
+    Label,
+    make_labeled_transaction,
+    make_signed_transaction,
+)
+from repro.network.topology import Topology
+from repro.workloads.generator import BernoulliWorkload
+
+
+def make_engine(seed=0, resilience=False, audit=None, behaviors=None):
+    topo = Topology.regular(l=8, n=4, m=3, r=2)
+    engine = NetworkedProtocolEngine(
+        topo,
+        ProtocolParams(f=0.5, delta=0.2),
+        behaviors=behaviors,
+        seed=seed,
+        max_delay=0.05,
+        resilience=resilience,
+        audit=audit,
+    )
+    return engine, topo
+
+
+def run_rounds(engine, topo, rounds, seed=1, per_round=8):
+    workload = BernoulliWorkload(topo.providers, p_valid=0.85, seed=seed)
+    for _ in range(rounds):
+        engine.run_round(workload.take(per_round))
+
+
+def make_vote(key: SigningKey, serial: int, block_hash: bytes, rnd=1) -> CommitVote:
+    message = ("audit-commit", key.owner, serial, block_hash, rnd)
+    return CommitVote(
+        governor=key.owner,
+        serial=serial,
+        block_hash=block_hash,
+        round_number=rnd,
+        signature=sign(key, message),
+    )
+
+
+class TestAuditConfig:
+    def test_defaults_all_on(self):
+        cfg = AuditConfig()
+        assert cfg.enabled
+        assert cfg.commit_votes
+        assert cfg.block_integrity
+        assert cfg.reputation_invariants
+        assert cfg.theorem_guardrail
+        assert cfg.quarantine
+        assert cfg.s_min == 0.0
+
+    def test_configure_and_restore(self):
+        prior = audit_config.get_config()
+        try:
+            cfg = audit_config.configure(quarantine=False, s_min=2.0)
+            assert cfg is audit_config.get_config()
+            assert not cfg.quarantine and cfg.s_min == 2.0
+        finally:
+            audit_config.set_config(prior)
+        assert audit_config.get_config() == prior
+
+    def test_overridden_scoped(self):
+        prior = audit_config.get_config()
+        with audit_config.overridden(theorem_guardrail=False) as cfg:
+            assert not cfg.theorem_guardrail
+            assert not audit_config.get_config().theorem_guardrail
+        assert audit_config.get_config() == prior
+
+    def test_disabled_scoped(self):
+        prior = audit_config.get_config()
+        with audit_config.disabled() as cfg:
+            assert not cfg.enabled
+        assert audit_config.get_config() == prior
+
+    def test_engine_snapshots_active_config(self):
+        with audit_config.overridden(quarantine=False):
+            engine, _ = make_engine()
+        assert not engine.audit.quarantine
+        # Explicit argument wins over the ambient config.
+        engine, _ = make_engine(audit=AuditConfig(enabled=False))
+        assert not engine.audit.enabled
+
+
+class TestAuditBlock:
+    def make_block(self, serial=1, prev=GENESIS_PREV_HASH):
+        return Block(
+            serial=serial, tx_list=(), prev_hash=prev,
+            proposer="g0", round_number=1,
+        )
+
+    def test_clean_block_passes(self):
+        auditor = SafetyAuditor("g0")
+        block = self.make_block()
+        found = auditor.audit_block(
+            block, expected_serial=1, expected_prev=GENESIS_PREV_HASH,
+            round_number=1, store_hash=block.hash(),
+        )
+        assert found == []
+        assert auditor.report.clean
+        assert auditor.report.checks_run >= 3
+
+    def test_wrong_serial_and_prev_flagged(self):
+        auditor = SafetyAuditor("g0")
+        block = self.make_block(serial=3, prev=b"\x01" * 32)
+        found = auditor.audit_block(
+            block, expected_serial=1, expected_prev=GENESIS_PREV_HASH,
+            round_number=1,
+        )
+        types = [v.type for v in found]
+        assert types.count(ViolationType.CHAIN_INTEGRITY) == 2
+        assert all(not v.provable for v in found)
+        assert all(v.culprit == "g0" for v in found)
+
+    def test_store_crosscheck_catches_tamper(self):
+        auditor = SafetyAuditor("g0")
+        block = self.make_block()
+        found = auditor.audit_block(
+            block, expected_serial=1, expected_prev=GENESIS_PREV_HASH,
+            round_number=2, store_hash=b"\x02" * 32,
+        )
+        assert [v.type for v in found] == [ViolationType.BLOCK_TAMPER]
+        # In-flight tampering is unattributable, hence never provable.
+        assert found[0].culprit == "unknown"
+        assert not found[0].provable
+
+
+class TestIngestVote:
+    def test_consistent_votes_are_clean(self):
+        auditor = SafetyAuditor("g1")
+        key = SigningKey(owner="g0", secret=b"\x01" * 32)
+        h = b"\x03" * 32
+        for _ in range(2):
+            violation, mismatch = auditor.ingest_vote(make_vote(key, 1, h), h, 1)
+            assert violation is None
+            assert not mismatch
+
+    def test_equivocation_is_provable(self):
+        auditor = SafetyAuditor("g1")
+        key = SigningKey(owner="g0", secret=b"\x01" * 32)
+        auditor.ingest_vote(make_vote(key, 1, b"\x03" * 32), b"\x03" * 32, 1)
+        violation, _ = auditor.ingest_vote(
+            make_vote(key, 1, b"\x04" * 32), b"\x03" * 32, 1
+        )
+        assert violation is not None
+        assert violation.type is ViolationType.GOVERNOR_EQUIVOCATION
+        assert violation.provable
+        assert violation.culprit == "g0"
+        assert len(violation.evidence) == 2
+
+    def test_mismatch_flag_signals_forwarding(self):
+        auditor = SafetyAuditor("g1")
+        key = SigningKey(owner="g0", secret=b"\x01" * 32)
+        _, mismatch = auditor.ingest_vote(
+            make_vote(key, 1, b"\x04" * 32), own_hash=b"\x03" * 32, round_number=1
+        )
+        assert mismatch
+        # No own commit yet: nothing to contradict.
+        _, mismatch = auditor.ingest_vote(
+            make_vote(key, 2, b"\x04" * 32), own_hash=None, round_number=1
+        )
+        assert not mismatch
+
+    def test_forged_vote_is_no_evidence(self):
+        im = IdentityManager(seed=5)
+        im.enroll("g0", Role.GOVERNOR)
+        auditor = SafetyAuditor("g1", im=im)
+        wrong_key = SigningKey(owner="g0", secret=b"\x09" * 32)
+        violation, mismatch = auditor.ingest_vote(
+            make_vote(wrong_key, 1, b"\x03" * 32), b"\x04" * 32, 1
+        )
+        assert violation is None and not mismatch
+        assert [v.type for v in auditor.report.violations] == [
+            ViolationType.BAD_SIGNATURE
+        ]
+        # The forgery names nobody: it cannot frame g0.
+        assert auditor.report.violations[0].culprit == "unknown"
+
+
+class TestObserveUpload:
+    def setup_method(self):
+        self.provider_key = SigningKey(owner="p0", secret=b"\x0a" * 32)
+        self.collector_key = SigningKey(owner="c0", secret=b"\x0b" * 32)
+        self.tx = make_signed_transaction(self.provider_key, "x", 1.0, nonce=0)
+
+    def test_conflicting_signed_labels_are_provable(self):
+        auditor = SafetyAuditor("g0")
+        first = make_labeled_transaction(self.collector_key, self.tx, Label.VALID)
+        second = make_labeled_transaction(self.collector_key, self.tx, Label.INVALID)
+        assert auditor.observe_upload(first, 1) is None
+        violation = auditor.observe_upload(second, 1)
+        assert violation is not None
+        assert violation.type is ViolationType.COLLECTOR_EQUIVOCATION
+        assert violation.provable and violation.culprit == "c0"
+
+    def test_tampered_upload_cannot_frame(self):
+        im = IdentityManager(seed=6)
+        key = im.enroll("c0", Role.COLLECTOR)
+        auditor = SafetyAuditor("g0", im=im)
+        honest = make_labeled_transaction(key, self.tx, Label.VALID)
+        assert auditor.observe_upload(honest, 1) is None
+        # A flipped label under the old signature never becomes evidence.
+        from dataclasses import replace
+
+        flipped = replace(honest, label=Label.INVALID)
+        assert auditor.observe_upload(flipped, 1) is None
+        stripped = replace(
+            honest,
+            label=Label.INVALID,
+            collector_signature=Signature(signer="c0", tag=b"\x00" * 32),
+        )
+        assert auditor.observe_upload(stripped, 1) is None
+        assert auditor.report.clean
+
+
+class TestBookAndRegret:
+    def test_healthy_book_is_clean(self):
+        engine, topo = make_engine(seed=3)
+        run_rounds(engine, topo, 2, seed=4)
+        auditor = SafetyAuditor("harness")
+        for gov in engine.governors.values():
+            assert auditor.audit_book(gov.book, 2) == []
+        assert auditor.report.clean
+
+    def test_poisoned_weight_flagged(self):
+        engine, topo = make_engine(seed=3)
+        run_rounds(engine, topo, 1, seed=4)
+        gov = engine.governors["g0"]
+        cid = next(iter(gov.book.collectors()))
+        vector = gov.book.vector(cid)
+        provider = next(iter(vector.provider_weights))
+        vector.provider_weights[provider] = -1.0
+        auditor = SafetyAuditor("harness")
+        found = auditor.audit_book(gov.book, 1)
+        assert any(v.type is ViolationType.REPUTATION_INVARIANT for v in found)
+
+    def test_regret_guardrail(self):
+        auditor = SafetyAuditor("harness")
+        bound = rwm_bound(s_min=0.0, r=2, beta=0.9)
+        assert auditor.audit_regret(bound * 0.5, r=2, beta=0.9, round_number=1) is None
+        violation = auditor.audit_regret(bound + 1.0, r=2, beta=0.9, round_number=2)
+        assert violation is not None
+        assert violation.type is ViolationType.REGRET_BOUND
+        assert violation.is_safety
+
+    def test_report_helpers(self):
+        report = AuditReport(auditor="x")
+        assert report.clean
+        v1 = AuditViolation(
+            type=ViolationType.GOVERNOR_EQUIVOCATION, culprit="g0",
+            round_number=1, detail="d", provable=True,
+        )
+        v2 = AuditViolation(
+            type=ViolationType.AGREEMENT, culprit="unknown",
+            round_number=1, detail="d",
+        )
+        report.violations.extend([v1, v2])
+        assert not report.clean
+        assert report.by_type(ViolationType.AGREEMENT) == [v2]
+        assert report.provable() == [v1]
+        # Attributed misbehaviour of others is not a local safety failure.
+        assert report.safety_violations() == [v2]
+
+
+class TestHarnessAudit:
+    def test_clean_networked_run(self):
+        engine, topo = make_engine(seed=11)
+        run_rounds(engine, topo, 3, seed=12)
+        engine.finalize()
+        report = harness_audit(
+            "harness", engine.ledgers(), list(engine.governors.values()),
+            r=topo.r, beta=engine.params.beta, round_number=3,
+        )
+        assert report.clean, report.violations
+
+    def test_engine_round_audit_is_clean_on_honest_runs(self):
+        engine, topo = make_engine(seed=13)
+        run_rounds(engine, topo, 3, seed=14)
+        assert engine.harness_auditor.report.clean
+        for auditor in engine.auditors.values():
+            assert auditor.report.clean, auditor.report.violations
+            assert auditor.report.checks_run > 0
+
+    def test_inprocess_engine_audit_report(self):
+        topo = Topology.regular(l=8, n=4, m=3, r=2)
+        engine = ProtocolEngine(topo, ProtocolParams(f=0.5), seed=21)
+        workload = BernoulliWorkload(topo.providers, p_valid=0.8, seed=22)
+        for _ in range(3):
+            engine.run_round(workload.take(8))
+        engine.finalize()
+        assert engine.audit_report is not None
+        assert engine.audit_report.clean, engine.audit_report.violations
+        with audit_config.disabled():
+            engine2 = ProtocolEngine(topo, ProtocolParams(f=0.5), seed=21)
+            engine2.run_round(workload.take(8))
+            engine2.finalize()
+        assert engine2.audit_report is None
+
+
+class TestBitIdentity:
+    """Satellite: seeded ledgers are bit-identical auditor on vs off."""
+
+    @pytest.mark.parametrize("resilience", [False, True])
+    def test_ledgers_identical_with_auditor_on_and_off(self, resilience):
+        def block_hashes(audit):
+            engine, topo = make_engine(seed=7, resilience=resilience, audit=audit)
+            run_rounds(engine, topo, 5, seed=8)
+            engine.finalize()
+            return [
+                engine.store.retrieve(s).hash()
+                for s in range(1, engine.store.height + 1)
+            ]
+
+        on = block_hashes(audit=AuditConfig())
+        off = block_hashes(audit=AuditConfig(enabled=False))
+        assert len(on) == 5
+        assert on == off
+
+    def test_audit_traffic_flows_when_enabled(self):
+        engine, topo = make_engine(seed=7)
+        run_rounds(engine, topo, 2, seed=8)
+        voted = sum(
+            len(votes)
+            for auditor in engine.auditors.values()
+            for votes in auditor._votes.values()
+        )
+        assert voted > 0
+        off, _ = make_engine(seed=7, audit=AuditConfig(enabled=False))
+        run_rounds(off, topo, 2, seed=8)
+        assert all(not a._votes for a in off.auditors.values())
+
+
+class TestQuarantine:
+    def test_quarantined_collector_is_suppressed_and_dropped(self):
+        engine, topo = make_engine(seed=31)
+        run_rounds(engine, topo, 1, seed=32)
+        violation = AuditViolation(
+            type=ViolationType.COLLECTOR_EQUIVOCATION, culprit="c0",
+            round_number=1, detail="test", provable=True,
+        )
+        engine.quarantine_node("c0", violation)
+        assert "c0" in engine.quarantined_nodes
+        for gov in engine.governors.values():
+            assert not gov.book.is_registered("c0")
+        assert engine.quarantine_log
+        _t, _rnd, node, vtype = engine.quarantine_log[-1]
+        assert node == "c0" and vtype == "collector-equivocation"
+        # Quarantine is idempotent.
+        engine.quarantine_node("c0", violation)
+        assert len(engine.quarantine_log) == 1
+        run_rounds(engine, topo, 2, seed=33)
+        assert engine.store.height == 3
+        # No fresh uploads from c0 were ingested post-quarantine.
+        assert all(
+            gov.ledger.height == engine.store.height
+            for gov in engine.governors.values()
+        )
+
+    def test_quarantined_governor_excluded_from_leadership(self):
+        engine, topo = make_engine(seed=41)
+        violation = AuditViolation(
+            type=ViolationType.GOVERNOR_EQUIVOCATION, culprit="g0",
+            round_number=0, detail="test", provable=True,
+        )
+        engine.quarantine_node("g0", violation)
+        run_rounds(engine, topo, 4, seed=42)
+        for serial in range(1, engine.store.height + 1):
+            assert engine.store.retrieve(serial).proposer != "g0"
+
+    def test_release_readmits_collector_at_median(self):
+        engine, topo = make_engine(seed=51)
+        run_rounds(engine, topo, 2, seed=52)
+        violation = AuditViolation(
+            type=ViolationType.COLLECTOR_EQUIVOCATION, culprit="c1",
+            round_number=2, detail="test", provable=True,
+        )
+        engine.quarantine_node("c1", violation)
+        run_rounds(engine, topo, 1, seed=53)
+        engine.release_quarantine("c1")
+        assert "c1" not in engine.quarantined_nodes
+        for gov in engine.governors.values():
+            assert gov.book.is_registered("c1")
+        run_rounds(engine, topo, 1, seed=54)
+        engine.finalize()
+        assert engine.store.height == 4
+
+    def test_release_resyncs_governor(self):
+        engine, topo = make_engine(seed=61)
+        run_rounds(engine, topo, 1, seed=62)
+        violation = AuditViolation(
+            type=ViolationType.GOVERNOR_EQUIVOCATION, culprit="g2",
+            round_number=1, detail="test", provable=True,
+        )
+        engine.quarantine_node("g2", violation)
+        run_rounds(engine, topo, 2, seed=63)
+        # Quarantined governors still receive blocks (ledgers never stall).
+        assert engine.governors["g2"].ledger.height == engine.store.height
+        engine.release_quarantine("g2")
+        run_rounds(engine, topo, 1, seed=64)
+        assert engine.governors["g2"].ledger.height == engine.store.height == 4

@@ -137,3 +137,27 @@ class TestShippedResults:
             doc = json.loads(path.read_text())
             assert doc["schema"] == helpers.BENCH_SCHEMA, path.name
             assert doc["tables"], path.name
+
+    def test_e13_byzantine_twin_is_well_formed(self, helpers):
+        """The E13 sweep's structured metrics back its headline claims:
+        Theorem-1 regret held and the equivocator was quarantined fast
+        at every Byzantine fraction."""
+        path = helpers.RESULTS_DIR / "BENCH_E13_byzantine.json"
+        if not path.exists():
+            pytest.skip("E13 results not generated")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == helpers.BENCH_SCHEMA
+        sweep = doc["metrics"]["byzantine_sweep"]
+        assert [row["byzantine_collectors"] for row in sweep] == [1, 2, 3]
+        for row in sweep:
+            assert row["agreement"], row
+            assert row["safety_violations"] == 0, row
+            assert row["max_honest_regret"] <= row["rwm_bound"], row
+            assert row["equivocator_quarantined"], row
+            assert row["quarantine_latency_rounds"] <= 2, row
+            assert row["ok"], row
+        assert doc["metrics"]["all_ok"]
+        # The audit layer's telemetry rode along in the snapshot.
+        names = set(doc["observability"]["metrics"])
+        assert "audit_violations_total" in names
+        assert "byz_tampered_total" in names

@@ -194,3 +194,144 @@ class TestAcceptanceScenario:
             ]
 
         assert tip_hashes(7) == tip_hashes(7)
+
+
+@pytest.mark.chaos
+class TestFaultEdgeCases:
+    """Compound fault-subsystem edge cases layered on the PR1 machinery."""
+
+    def test_leader_crash_with_partition_during_commit(self):
+        """The elected leader crashes while another governor is cut off
+        by a partition spanning the pack/commit window: the failover
+        leader packs, the partitioned governor repairs its gap on the
+        next multicast, and everyone converges."""
+        engine, topo = build_engine(seed=100)
+        plan = (
+            lossy_plan(seed=101, loss=0.05)
+            .with_crash("g0", at=0.1, recover_at=1.4)
+            .with_partition(("g1",), start=0.3, end=1.1)
+        )
+        engine.install_faults(plan)
+        run_rounds(engine, topo, rounds=6, seed=102)
+        engine.finalize()
+        engine.drain_recovery()
+        # Every block was packed by a live governor, never the crashed one
+        # during its outage window.
+        assert engine.store.height == 6
+        assert engine.injector.stats.crashes == 1
+        assert engine.injector.stats.recoveries == 1
+        for gov in engine.governors.values():
+            assert gov.ledger.height == engine.store.height, gov.governor_id
+        assert_safety(engine, f=0.6)
+
+    def test_sequencer_failover_with_repair_in_flight(self):
+        """Heavy loss keeps gap-repair NACK traffic in flight when the
+        primary sequencer crash-stops mid-run; the backup must answer
+        from the same retained buffer and close every gap."""
+        engine, topo = build_engine(seed=110)
+        plan = FaultPlan(seed=111).with_default_link(
+            LinkFaultSpec(loss=0.28, reorder=0.10, reorder_delay=0.1)
+        ).with_crash(SEQUENCER_PRIMARY, at=0.5)
+        engine.install_faults(plan)
+        run_rounds(engine, topo, rounds=6, seed=112)
+        engine.finalize()
+        engine.drain_recovery()
+        assert engine.injector.stats.dropped > 0
+        assert engine.broadcast.pending_gap_total() == 0
+        assert_safety(engine, f=0.6)
+
+
+@pytest.mark.chaos
+class TestByzantineAcceptance:
+    """The ISSUE's Byzantine bar: one honest collector, every other
+    collector Byzantine, an equivocating governor, and in-flight
+    tampering — honest replicas stay safe, the Theorem-1 bound holds,
+    and the equivocator is quarantined within two rounds."""
+
+    EQUIVOCATE_AT = 3
+
+    def build(self, seed=120):
+        from repro.byzantine import (
+            AdaptiveAttackerBehavior,
+            CartelPlan,
+            ColludingCollectorBehavior,
+            MessageTamperer,
+            TamperSpec,
+            install_equivocation,
+            reputation_probe,
+        )
+
+        plan = CartelPlan(target_provider="p0", mode="conceal")
+        adaptive = AdaptiveAttackerBehavior(defect_above=0.8, p_defect=0.5)
+        behaviors = {
+            # c0 stays honest — the paper's "at least one well-behaved
+            # collector" premise.
+            "c1": ColludingCollectorBehavior(plan),
+            "c2": ColludingCollectorBehavior(plan),
+            "c3": adaptive,
+        }
+        engine, topo = build_engine(seed=seed, f=0.6, behaviors=behaviors)
+        adaptive.bind_probe(reputation_probe(engine, "g0", "c3"))
+        tamperer = MessageTamperer(
+            TamperSpec(strip_signature=0.05, flip_label=0.05, replay=0.05,
+                       corrupt_block=0.10),
+            seed=seed + 1,
+        )
+        engine.install_faults(FaultPlan(seed=seed + 2), tamperer=tamperer)
+        install_equivocation(engine, "g2", serial=self.EQUIVOCATE_AT)
+        return engine, topo, tamperer
+
+    def run_soak(self, seed=120):
+        engine, topo, tamperer = self.build(seed)
+        run_rounds(engine, topo, rounds=8, seed=seed + 3)
+        engine.finalize()
+        return engine, topo, tamperer
+
+    def test_byzantine_majority_soak(self):
+        from repro.core.regret import rwm_bound
+
+        engine, topo, tamperer = self.run_soak()
+        assert tamperer.stats.total > 0  # the adversary actually acted
+        honest_govs = [
+            gid for gid in topo.governors if gid not in engine.quarantined_nodes
+        ]
+        # 1. Zero safety violations on honest governors' replicas.
+        for gid in honest_govs:
+            assert not engine.auditors[gid].report.safety_violations(), gid
+        assert not engine.harness_auditor.report.safety_violations()
+        check_agreement([engine.governors[gid].ledger for gid in honest_govs])
+        for gid in honest_govs:
+            engine.governors[gid].ledger.verify_integrity()
+        # 2. The equivocator — and only the equivocator — was provably
+        # caught, within two rounds of the attack.
+        assert engine.quarantined_nodes == {"g2"}
+        _t, rnd, node, vtype = engine.quarantine_log[0]
+        assert node == "g2" and vtype == "governor-equivocation"
+        assert rnd <= self.EQUIVOCATE_AT + 2
+        provable = [
+            v
+            for gid in honest_govs
+            for v in engine.auditors[gid].report.provable()
+        ]
+        assert provable and {v.culprit for v in provable} == {"g2"}
+        # 3. Honest governor loss stays under the Theorem-1 bound.
+        bound = rwm_bound(s_min=0.0, r=topo.r, beta=engine.params.beta)
+        worst = max(
+            engine.governors[gid].metrics.expected_loss for gid in honest_govs
+        )
+        assert worst <= bound, f"loss {worst} exceeds rwm_bound {bound}"
+
+    def test_byzantine_soak_is_deterministic(self):
+        def fingerprint():
+            engine, _topo, _tamperer = self.run_soak(seed=130)
+            return (
+                [
+                    engine.store.retrieve(s).hash()
+                    for s in range(1, engine.store.height + 1)
+                ],
+                list(engine.quarantine_log),
+            )
+
+        first, second = fingerprint(), fingerprint()
+        assert first[0] == second[0]
+        assert first[1] == second[1]

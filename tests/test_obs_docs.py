@@ -14,6 +14,7 @@ import re
 
 import pytest
 
+from repro.byzantine.tampering import MessageTamperer, TamperSpec
 from repro.core.netengine import NetworkedProtocolEngine
 from repro.core.params import ProtocolParams
 from repro.core.protocol import ProtocolEngine
@@ -24,7 +25,7 @@ from repro.workloads.generator import BernoulliWorkload
 DOC = pathlib.Path(__file__).parent.parent / "OBSERVABILITY.md"
 
 #: Anything shaped like one of our metric names.
-_METRIC_TOKEN = re.compile(r"\b(?:net|abcast|rel|gov|rep|engine)_[a-z0-9_]+\b")
+_METRIC_TOKEN = re.compile(r"\b(?:net|abcast|rel|gov|rep|engine|audit|byz)_[a-z0-9_]+\b")
 
 
 @pytest.fixture(scope="module")
@@ -41,6 +42,7 @@ def registered() -> MetricsRegistry:
         obs=reg,
     )
     ProtocolEngine(topo, ProtocolParams(f=0.5), seed=0, obs=reg)
+    MessageTamperer(TamperSpec(flip_label=0.1), seed=0, obs=reg)
     return reg
 
 
