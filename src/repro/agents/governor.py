@@ -201,6 +201,16 @@ class Governor:
                 del labels[collector]
                 if not labels:
                     del self._received[tx_id]
+        # Screening-time snapshots awaiting truth revelation must be
+        # scrubbed too: a reveal after the churn would otherwise look up
+        # the retired collector's weight in a book that no longer holds
+        # it.  (A decision left with no labels has nobody to update.)
+        for tx_id in list(self._pending_unchecked):
+            decision = self._pending_unchecked[tx_id]
+            if collector in decision.labels:
+                del decision.labels[collector]
+                if not decision.labels:
+                    del self._pending_unchecked[tx_id]
 
     def admit_collector(
         self, collector: str, providers: Iterable[str], bootstrap: str = "median"

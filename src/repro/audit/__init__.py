@@ -24,11 +24,13 @@ from repro.audit.config import (
     overridden,
     set_config,
 )
+from repro.audit.xshard import CrossShardAuditor
 
 __all__ = [
     "AuditConfig",
     "AuditReport",
     "AuditViolation",
+    "CrossShardAuditor",
     "SafetyAuditor",
     "ViolationType",
     "harness_audit",

@@ -69,6 +69,10 @@ SAFETY_TYPES = frozenset(
         "bad-signature",
         "reputation-invariant",
         "regret-bound",
+        # Cross-shard atomicity: a half-applied or replayed receipt means
+        # the sharded ledger family itself lost exactly-once semantics.
+        "receipt-replay",
+        "receipt-half-applied",
     }
 )
 
@@ -85,6 +89,9 @@ class ViolationType(str, Enum):
     AGREEMENT = "agreement"
     REPUTATION_INVARIANT = "reputation-invariant"
     REGRET_BOUND = "regret-bound"
+    RECEIPT_REPLAY = "receipt-replay"
+    RECEIPT_HALF_APPLIED = "receipt-half-applied"
+    RECEIPT_EQUIVOCATION = "receipt-equivocation"
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,9 @@ Subcommands:
   adversary mix and print loss / S_min / bound rows;
 * ``sweep-f`` — the E5 efficiency table over an f grid;
 * ``baselines`` — the E8 policy comparison on one adversary mix;
-* ``scenario`` — run a named preset from the scenario registry.
+* ``scenario`` — run a named preset from the scenario registry;
+* ``shard`` — run an S-shard deployment (named preset or explicit
+  shape) and print per-shard + aggregate statistics.
 
 Example::
 
@@ -114,6 +116,16 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--seed", type=int, default=0)
     scenario.add_argument("--rounds", type=int, default=None,
                           help="override the preset's round count")
+
+    from repro.workloads.scenarios import shard_scenario_names
+
+    shard = sub.add_parser("shard", help="run an S-shard deployment")
+    shard.add_argument("--preset", choices=shard_scenario_names(),
+                       default="sharded-smoke",
+                       help="named sharded scenario to run")
+    shard.add_argument("--seed", type=int, default=0)
+    shard.add_argument("--rounds", type=int, default=None,
+                       help="override the preset's super-round count")
     return parser
 
 
@@ -244,12 +256,63 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0 if report.all_hold else 1
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.workloads.scenarios import build_shard_deployment
+
+    coordinator, workload, scenario = build_shard_deployment(
+        args.preset, seed=args.seed
+    )
+    rounds = args.rounds if args.rounds is not None else scenario.rounds
+    print(f"shard scenario: {scenario.name} — {scenario.description}")
+    print(f"topology: l={scenario.l} n={scenario.n} m={scenario.m} r={scenario.r} "
+          f"across {scenario.shards} shards; p_cross={scenario.p_cross}, "
+          f"{rounds} super-rounds x {scenario.batch} tx")
+    for _ in range(rounds):
+        coordinator.submit(workload.take(scenario.batch))
+        coordinator.run_super_round()
+    report = coordinator.finalize()
+
+    rows = []
+    all_hold = True
+    for k, engine in enumerate(coordinator.engines):
+        origin = cross_out = receipts_in = 0
+        for serial in range(1, engine.store.height + 1):
+            for record in engine.store.retrieve(serial).tx_list:
+                payload = record.tx.body.payload
+                if isinstance(payload, dict) and "xshard_receipt" in payload:
+                    receipts_in += 1
+                    continue
+                origin += 1
+                if isinstance(payload, dict) and "xshard_to" in payload:
+                    cross_out += 1
+        mass = sum(engine.collector_masses().values())
+        rows.append((k, engine.store.height, origin, cross_out, receipts_in,
+                     f"{mass:.3f}"))
+        props = check_all_properties(engine.ledgers(), engine.transcript)
+        all_hold = all_hold and props.all_hold
+    print(format_table(
+        ["shard", "height", "committed", "cross-out", "cross-in", "rep mass"],
+        rows,
+    ))
+    migrations = sum(len(moves) for _, _, moves in coordinator.reshuffle_log)
+    print(f"\naggregate committed: {coordinator.committed_total} tx, "
+          f"throughput {coordinator.throughput():.2f} tx/sim-s")
+    print(f"reshuffles: {len(coordinator.reshuffle_log)} "
+          f"({migrations} collector migrations)")
+    print(f"cross-shard atomicity clean: {report.clean}")
+    print(f"properties hold on all shards: {all_hold}")
+    for violation in report.violations:
+        print(f"  !! {violation}")
+    return 0 if report.clean and all_hold else 1
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "regret": _cmd_regret,
     "sweep-f": _cmd_sweep_f,
     "baselines": _cmd_baselines,
     "scenario": _cmd_scenario,
+    "shard": _cmd_shard,
 }
 
 

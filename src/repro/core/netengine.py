@@ -90,7 +90,14 @@ from repro.ledger.block import GENESIS_PREV_HASH, Block
 from repro.ledger.properties import RunTranscript
 from repro.ledger.store import BlockStore
 from repro.ledger.sync import sync_replica
-from repro.ledger.transaction import LabeledTransaction, SignedTransaction, TxRecord
+from repro.ledger.transaction import (
+    CheckStatus,
+    Label,
+    LabeledTransaction,
+    SignedTransaction,
+    TxRecord,
+    make_signed_transaction,
+)
 from repro.ledger.validation import CountingOracle, GroundTruthOracle
 from repro.network.broadcast import AtomicBroadcast
 from repro.network.reliable import ReliableChannel
@@ -103,6 +110,7 @@ __all__ = [
     "ArgueRequest",
     "NetworkedRoundResult",
     "NetworkedProtocolEngine",
+    "RoundContext",
     "SEQUENCER_PRIMARY",
     "SEQUENCER_BACKUP",
 ]
@@ -135,6 +143,35 @@ class NetworkedRoundResult:
     rewards: Mapping[str, float]
 
 
+@dataclass
+class RoundContext:
+    """In-flight state of a phase-split round (see :meth:`begin_round`).
+
+    :meth:`NetworkedProtocolEngine.run_round` is split into
+    ``begin_round`` / ``begin_argue`` / ``complete_round`` so a
+    :class:`~repro.sharding.ShardCoordinator` can start one round on
+    *every* shard engine and drain them all with a single shared
+    ``sim.run`` — the shards' rounds overlap in simulated time instead
+    of running back to back.  The context carries everything the later
+    phases need; callers must advance the shared simulator to
+    ``drain_until`` between ``begin_round`` and ``begin_argue``, and to
+    ``begin_argue``'s returned time before ``complete_round``.
+    """
+
+    round_number: int
+    t0: float
+    cutoff: float
+    drain_until: float
+    specs_count: int
+    elected: str
+    packed: dict
+    actual_leader: dict
+    argue_start: float = 0.0
+    argues_before: int = 0
+    block: Block | None = None
+    leader: str = ""
+
+
 class NetworkedProtocolEngine:
     """The protocol over real (simulated) packets.
 
@@ -163,6 +200,12 @@ class NetworkedProtocolEngine:
             :mod:`repro.audit.config` switchboard (auditor ON by
             default).  With no violations present, auditor-on and
             auditor-off seeded runs produce bit-identical ledgers.
+        sim: Optional externally owned :class:`~repro.network.simnet.Simulator`.
+            When given, the engine schedules on that shared clock instead
+            of creating its own — this is how a
+            :class:`~repro.sharding.ShardCoordinator` runs ``S`` engines
+            side by side in one simulated timeline.  The engine still
+            owns its network, broadcast layer, and identity manager.
     """
 
     def __init__(
@@ -177,6 +220,7 @@ class NetworkedProtocolEngine:
         resilience: bool = False,
         obs: MetricsRegistry | None = None,
         audit: AuditConfig | None = None,
+        sim: Simulator | None = None,
     ):
         if params.delta < 2 * max_delay:
             raise ConfigurationError(
@@ -190,7 +234,7 @@ class NetworkedProtocolEngine:
         self.oracle = GroundTruthOracle()
         self.transcript = RunTranscript()
         self.store = BlockStore()
-        self.sim = Simulator(seed=seed)
+        self.sim = sim if sim is not None else Simulator(seed=seed)
         self.obs.bind_clock(lambda: self.sim.now)
         self.network = SyncNetwork(
             self.sim, min_delay=min_delay, max_delay=max_delay, seed=seed + 1,
@@ -232,6 +276,10 @@ class NetworkedProtocolEngine:
             "Commit votes sent, by origin (own vote vs forwarded evidence)",
             labels=("origin",),
         )
+        self._m_receipt_dups = self.obs.counter(
+            "shard_receipt_dups_total",
+            "Duplicate cross-shard receipt deliveries discarded at a governor",
+        )
         self.injector: FaultInjector | None = None
         self._crashed: set[str] = set()
         # (sim time, "crash"/"recover", node id, blocks synced on recovery)
@@ -257,6 +305,23 @@ class NetworkedProtocolEngine:
         self._packed_tx_ids: set[str] = set()
         self._argues_sent = 0
         self.rewards_paid: dict[str, float] = {}
+        # -- cross-shard receipts (enable_xshard) -----------------------
+        # Relay endpoint id + signing key; None until a ShardCoordinator
+        # enables cross-shard commits on this engine.  Enrolment is lazy
+        # so non-sharded runs stay bit-identical (no extra key draw).
+        self._xshard_relay: str | None = None
+        self._relay_key = None
+        # gid -> receipt_id -> receipt awaiting pack at that governor.
+        self._receipt_buffers: dict[str, dict[str, object]] = {}
+        # receipt ids already committed here (replay-proofing).
+        self._applied_receipt_ids: set[str] = set()
+        # Live collector -> provider links.  Starts as the topology's
+        # static view but, unlike the frozen Topology, tracks epoch
+        # migrations (adopt/release) so churn readmission keeps working
+        # for collectors the original topology never knew.
+        self.collector_providers: dict[str, tuple[str, ...]] = {
+            cid: topology.providers_of(cid) for cid in topology.collectors
+        }
 
         behaviors = dict(behaviors or {})
         unknown = set(behaviors) - set(topology.collectors)
@@ -297,6 +362,7 @@ class NetworkedProtocolEngine:
             gov.register_topology(topology)
             self.governors[gid] = gov
             self._round_records[gid] = []
+            self._receipt_buffers[gid] = {}
         # One auditor per governor (created even when disabled, so the
         # audit_* metric families are always registered; disabled
         # configs simply never call into them).
@@ -362,6 +428,9 @@ class NetworkedProtocolEngine:
             payload = message.payload
             if isinstance(payload, CommitVote):
                 self._on_commit_vote(gid, payload)
+                return
+            if getattr(payload, "kind", None) == "xshard-receipt":
+                self._ingest_receipt(gid, payload)
                 return
             if self.broadcast.on_message(gid, message):
                 return
@@ -439,6 +508,7 @@ class NetworkedProtocolEngine:
                 ):
                     deliver = self.store.retrieve(block.serial)
             governor.ledger.append(deliver)
+            self._clear_packed_receipts(gid, deliver)
             if (
                 self.audit.enabled
                 and self.audit.commit_votes
@@ -452,6 +522,94 @@ class NetworkedProtocolEngine:
         record = self.governors[gid].handle_argue(request.tx_id)
         if record is not None:
             self._reevaluated_queue[request.tx_id] = record
+
+    # -- cross-shard receipts (sharded deployments) ------------------------
+
+    def enable_xshard(self, relay_id: str) -> None:
+        """Accept cross-shard receipts relayed to this shard's governors.
+
+        Enrols ``relay_id`` as the shard's receipt-relay identity (a
+        provider-role member of this engine's alliance: receipt records
+        carry its signature, so ``SafetyAuditor.audit_block`` verifies
+        them like any other on-chain record) and registers its network
+        endpoint.  Called once per engine by the
+        :class:`~repro.sharding.ShardCoordinator`; a plain deployment
+        never calls it and is bit-identical to pre-sharding builds.
+        """
+        if self._xshard_relay is not None:
+            raise ConfigurationError(
+                f"cross-shard relay already enabled ({self._xshard_relay!r})"
+            )
+        self._xshard_relay = relay_id
+        self._relay_key = self.im.enroll(relay_id, Role.PROVIDER)
+        register = (
+            self.channel.register if self.channel is not None else self.network.register
+        )
+        register(relay_id, lambda message: None)
+
+    def _ingest_receipt(self, gid: str, receipt) -> None:
+        """Buffer a relayed receipt at ``gid`` for the next pack, deduped.
+
+        Replay-proofing happens here and at pack time: a receipt id that
+        is already buffered or already on chain is discarded (and
+        counted), so fault-injector duplicates and coordinator
+        re-relays can never commit twice.
+        """
+        if gid in self._crashed or gid in self._quarantined:
+            return
+        rid = receipt.receipt_id
+        if rid in self._applied_receipt_ids or rid in self._receipt_buffers[gid]:
+            self._m_receipt_dups.inc()
+            return
+        self._receipt_buffers[gid][rid] = receipt
+
+    def _receipt_record(self, receipt) -> TxRecord:
+        """Materialise a buffered receipt as a committable ledger record.
+
+        The transaction is signed by the shard's relay identity with a
+        nonce and timestamp derived from the receipt itself, so every
+        governor (and every retry) derives the **same** tx id — the
+        pack-time ``_packed_tx_ids`` filter then guarantees at-most-once
+        commitment even if a duplicate slipped past the buffer dedup.
+        """
+        tx = make_signed_transaction(
+            self._relay_key,
+            payload={
+                "xshard_receipt": receipt.receipt_id,
+                "home_shard": receipt.home_shard,
+                "origin_tx": receipt.tx_id,
+            },
+            timestamp=float(receipt.home_serial),
+            nonce=int(receipt.receipt_id[:12], 16),
+        )
+        self.oracle.assign(tx, True)
+        # The relay is the provider *and* collector of record for the
+        # receipt (it was already screened on its home shard), so the
+        # Almost-No-Creation transcript sees both broadcast legs.
+        self.transcript.provider_broadcasts.add(tx.tx_id)
+        self.transcript.collector_uploads.add(tx.tx_id)
+        return TxRecord(tx=tx, label=Label.VALID, status=CheckStatus.CHECKED)
+
+    def _receipt_records(self, gid: str, budget: int) -> list[TxRecord]:
+        """The leader's buffered receipts, as records, up to ``budget``."""
+        if self._xshard_relay is None or budget <= 0:
+            return []
+        buffered = sorted(
+            self._receipt_buffers[gid].values(),
+            key=lambda r: (r.home_serial, r.receipt_id),
+        )
+        return [self._receipt_record(receipt) for receipt in buffered[:budget]]
+
+    def _clear_packed_receipts(self, gid: str, block: Block) -> None:
+        """Drop receipts ``gid`` buffered once the block carries them."""
+        if self._xshard_relay is None:
+            return
+        for record in block.tx_list:
+            payload = record.tx.body.payload
+            if isinstance(payload, dict) and "xshard_receipt" in payload:
+                rid = payload["xshard_receipt"]
+                self._applied_receipt_ids.add(rid)
+                self._receipt_buffers[gid].pop(rid, None)
 
     # -- safety auditing: commit votes & quarantine ------------------------
 
@@ -593,7 +751,7 @@ class NetworkedProtocolEngine:
         elif node_id in self.collectors:
             group = f"feed:{node_id}"
             self.broadcast.skip_to(group, node_id, self.broadcast.current_seqno(group))
-            providers = self.topology.providers_of(node_id)
+            providers = self.collector_providers[node_id]
             for governor in self.governors.values():
                 if not governor.book.is_registered(node_id):
                     governor.admit_collector(node_id, providers, bootstrap="median")
@@ -692,6 +850,7 @@ class NetworkedProtocolEngine:
         self.network.partition(gid)
         self.governors[gid].crash_reset()
         self._round_records[gid].clear()
+        self._receipt_buffers[gid].clear()
         self._timers_started = {k for k in self._timers_started if k[0] != gid}
         self.fault_log.append((self.sim.now, "crash", gid, 0))
         self._m_crash_events.labels(event="crash").inc()
@@ -750,12 +909,108 @@ class NetworkedProtocolEngine:
         self.network.heal(cid)
         group = f"feed:{cid}"
         self.broadcast.skip_to(group, cid, self.broadcast.current_seqno(group))
-        providers = self.topology.providers_of(cid)
+        providers = self.collector_providers[cid]
         for governor in self.governors.values():
             if not governor.book.is_registered(cid):
                 governor.admit_collector(cid, providers, bootstrap=bootstrap)
         self.fault_log.append((self.sim.now, "recover", cid, 0))
         self._m_crash_events.labels(event="recover").inc()
+
+    # -- epoch migration (sharded deployments) -----------------------------
+
+    def collector_masses(self) -> dict[str, float]:
+        """Each live collector's reputation mass (mean over governors).
+
+        A collector's mass at one governor is the sum of its per-provider
+        weights; averaging across governors gives the shard-assignment
+        signal (RepChain-style reputation-balanced sharding) without
+        privileging any single governor's book.
+        """
+        totals: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for governor in self.governors.values():
+            book = governor.book
+            for cid in book.collectors():
+                mass = float(sum(book.vector(cid).provider_weights.values()))
+                totals[cid] = totals.get(cid, 0.0) + mass
+                counts[cid] = counts.get(cid, 0) + 1
+        return {cid: totals[cid] / counts[cid] for cid in sorted(totals)}
+
+    def release_collector(self, cid: str) -> tuple[tuple[str, ...], CollectorBehavior]:
+        """Expel a collector for migration to another shard.
+
+        The departure side of an epoch reshuffle: every governor retires
+        the collector's reputation vector (the same churn rules a crash
+        applies), its providers unlink it, and the agent leaves the
+        engine.  Returns the provider slots it occupied plus its live
+        behaviour object, which travel to the destination shard's
+        :meth:`adopt_collector`.
+        """
+        if cid not in self.collectors:
+            raise ConfigurationError(f"unknown collector {cid!r}")
+        providers = self.collector_providers.pop(cid)
+        for governor in self.governors.values():
+            if governor.book.is_registered(cid):
+                governor.drop_collector(cid)
+        collector = self.collectors.pop(cid)
+        for pid in providers:
+            provider = self.providers[pid]
+            provider.linked_collectors = tuple(
+                c for c in provider.linked_collectors if c != cid
+            )
+        self._crashed.discard(cid)
+        return providers, collector.behavior
+
+    def adopt_collector(
+        self,
+        cid: str,
+        providers: Sequence[str],
+        behavior: CollectorBehavior | None = None,
+    ) -> None:
+        """Admit a migrating collector into this shard.
+
+        The arrival side of an epoch reshuffle: the collector inherits
+        the given provider slots (typically vacated by an outbound
+        migrant, keeping the feed degree regular), is wired into the
+        network/broadcast fabric, and re-enters every governor's book
+        through the **median-bootstrap** churn path — migration never
+        imports reputation from the previous shard.
+        """
+        if cid in self.collectors:
+            raise ConfigurationError(f"collector {cid!r} already on this shard")
+        providers = tuple(providers)
+        if self.im.is_enrolled(cid):
+            key = self.im.record(cid).key
+        else:
+            key = self.im.enroll(cid, Role.COLLECTOR)
+        self.collectors[cid] = Collector(
+            collector_id=cid,
+            key=key,
+            linked_providers=providers,
+            behavior=behavior if behavior is not None else HonestBehavior(),
+            rng=np.random.default_rng(self._master.integers(2**63)),
+        )
+        for pid in providers:
+            self.im.register_link(cid, pid)
+            provider = self.providers[pid]
+            if cid not in provider.linked_collectors:
+                provider.linked_collectors = tuple(provider.linked_collectors) + (cid,)
+        group = f"feed:{cid}"
+        if not self.broadcast.has_group(group):
+            self.broadcast.create_group(group, [cid])
+            if self.resilience:
+                self.broadcast.add_reliable_group(group)
+        register = (
+            self.channel.register if self.channel is not None else self.network.register
+        )
+        register(cid, self._collector_on_message(cid))
+        self.broadcast.register_handler(group, cid, self._collector_on_feed(cid))
+        # A returning collector must not replay the feed it missed.
+        self.broadcast.skip_to(group, cid, self.broadcast.current_seqno(group))
+        for governor in self.governors.values():
+            if not governor.book.is_registered(cid):
+                governor.admit_collector(cid, providers, bootstrap="median")
+        self.collector_providers[cid] = providers
 
     def _live_leader(self, elected: str) -> str:
         """Deterministic leader failover: next eligible governor in order.
@@ -779,7 +1034,26 @@ class NetworkedProtocolEngine:
     # -- round execution ----------------------------------------------------
 
     def run_round(self, specs: Sequence[TxSpec]) -> NetworkedRoundResult:
-        """Execute one full round in simulated time."""
+        """Execute one full round in simulated time.
+
+        Composed from the phase-split API (:meth:`begin_round` /
+        :meth:`begin_argue` / :meth:`complete_round`) with this engine's
+        own simulator driving the drains; single-engine behaviour is
+        bit-identical to the pre-split monolithic implementation.
+        """
+        ctx = self.begin_round(specs)
+        self.sim.run(until=ctx.drain_until)
+        self.sim.run(until=self.begin_argue(ctx))
+        return self.complete_round(ctx)
+
+    def begin_round(self, specs: Sequence[TxSpec]) -> RoundContext:
+        """Phases 1–3 of a round: broadcasts, forgeries, pack trigger.
+
+        Schedules but does not drain — the caller advances the simulator
+        to ``ctx.drain_until`` before :meth:`begin_argue`, which is what
+        lets a :class:`~repro.sharding.ShardCoordinator` overlap all
+        shards' rounds on one shared clock.
+        """
         if len(specs) + len(self._reevaluated_queue) > self.params.b_limit:
             raise ConfigurationError("round exceeds b_limit")
         self._round += 1
@@ -844,8 +1118,14 @@ class NetworkedProtocolEngine:
                 seen.add(tx_id)
                 fresh.append(record)
             budget = self.params.b_limit - len(self._reevaluated_queue)
-            fresh = fresh[: max(budget, 0)]
-            records = list(self._reevaluated_queue.values()) + fresh
+            # Buffered cross-shard receipts commit ahead of fresh local
+            # records: the remote leg of an already-home-committed
+            # transaction must not starve behind new traffic (atomicity
+            # latency), and an empty list on non-sharded engines keeps
+            # this a no-op.
+            receipts = self._receipt_records(live, max(budget, 0))
+            fresh = fresh[: max(budget - len(receipts), 0)]
+            records = list(self._reevaluated_queue.values()) + receipts + fresh
             self._reevaluated_queue.clear()
             # Pack against the canonical published tip.  A leader that
             # somehow lags (e.g. healed from a partition) must extend the
@@ -871,8 +1151,26 @@ class NetworkedProtocolEngine:
             self.broadcast.broadcast("blocks", live, block)
 
         self.sim.schedule_at(cutoff, pack_block, label=f"pack:{round_number}")
-        # Drain the round: block dissemination takes one more hop.
-        self.sim.run(until=cutoff + self.network.max_delay + 0.001)
+        # Drain target: block dissemination takes one more hop past the
+        # pack cutoff.
+        return RoundContext(
+            round_number=round_number,
+            t0=t0,
+            cutoff=cutoff,
+            drain_until=cutoff + self.network.max_delay + 0.001,
+            specs_count=len(specs),
+            elected=leader_id,
+            packed=packed,
+            actual_leader=actual_leader,
+        )
+
+    def begin_argue(self, ctx: RoundContext) -> float:
+        """Phase 4: providers read the packed block and raise argues.
+
+        Call after draining the simulator to ``ctx.drain_until``.
+        Returns the sim time the caller must drain to before
+        :meth:`complete_round` (one hop for the argue messages).
+        """
         # Prune every governor's screened records down to the not-yet-
         # packed ones.  Fault-free this empties the lists exactly like
         # the old unconditional clear (everything screened this round
@@ -884,14 +1182,14 @@ class NetworkedProtocolEngine:
                 for r in self._round_records[gid]
                 if r.tx.tx_id not in self._packed_tx_ids
             ]
-        block = packed.get("block")
+        block = ctx.packed.get("block")
         if block is None:
             raise SimulationError("leader failed to pack a block")
-        leader_id = actual_leader["id"]
+        ctx.block = block
+        ctx.leader = ctx.actual_leader["id"]
 
-        # Phase 4: providers read the block and argue.
-        argue_start = self.sim.now
-        argues_before = self._argues_sent
+        ctx.argue_start = self.sim.now
+        ctx.argues_before = self._argues_sent
         for provider in self.providers.values():
             fresh = self.store.next_for(provider.provider_id)
             while fresh is not None:
@@ -904,8 +1202,13 @@ class NetworkedProtocolEngine:
                     for gid in self.topology.governors:
                         self.network.send(provider.provider_id, gid, request)
                 fresh = self.store.next_for(provider.provider_id)
-        self.sim.run(until=self.sim.now + self.network.max_delay + 0.001)
+        return self.sim.now + self.network.max_delay + 0.001
 
+    def complete_round(self, ctx: RoundContext) -> NetworkedRoundResult:
+        """Close a round: rewards, end-of-round audit, telemetry."""
+        round_number = ctx.round_number
+        block = ctx.block
+        leader_id = ctx.leader
         rewards = distribute_rewards(self.params, self.governors[leader_id].book)
         for cid, amount in rewards.items():
             self.rewards_paid[cid] = self.rewards_paid.get(cid, 0.0) + amount
@@ -914,21 +1217,21 @@ class NetworkedProtocolEngine:
             self._end_of_round_audit(round_number)
 
         self._m_rounds.inc()
-        self._m_tx_offered.inc(len(specs))
-        self._m_engine_argues.inc(self._argues_sent - argues_before)
+        self._m_tx_offered.inc(ctx.specs_count)
+        self._m_engine_argues.inc(self._argues_sent - ctx.argues_before)
         self._m_block_size.observe(float(len(block.tx_list)))
         self.obs.record_span(
-            "argue_phase", argue_start, self.sim.now, round=round_number
+            "argue_phase", ctx.argue_start, self.sim.now, round=round_number
         )
         self.obs.record_span(
-            "round", t0, self.sim.now, round=round_number, leader=leader_id
+            "round", ctx.t0, self.sim.now, round=round_number, leader=leader_id
         )
 
         return NetworkedRoundResult(
             round_number=round_number,
             leader=leader_id,
             block=block,
-            argues_sent=self._argues_sent - argues_before,
+            argues_sent=self._argues_sent - ctx.argues_before,
             rewards=rewards,
         )
 

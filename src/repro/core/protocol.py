@@ -517,3 +517,21 @@ class ProtocolEngine:
     def ledgers(self) -> list:
         """Every governor's ledger replica (for property checks)."""
         return [g.ledger for g in self.governors.values()]
+
+    def collector_masses(self) -> dict[str, float]:
+        """Each collector's reputation mass (mean over governors).
+
+        Same contract as
+        :meth:`repro.core.netengine.NetworkedProtocolEngine.collector_masses`
+        — the reputation-weighted shard-assignment signal, exposed on
+        both engines so sharding analyses can use either.
+        """
+        totals: dict[str, float] = {}
+        counts: dict[str, int] = {}
+        for governor in self.governors.values():
+            book = governor.book
+            for cid in book.collectors():
+                mass = float(sum(book.vector(cid).provider_weights.values()))
+                totals[cid] = totals.get(cid, 0.0) + mass
+                counts[cid] = counts.get(cid, 0) + 1
+        return {cid: totals[cid] / counts[cid] for cid in sorted(totals)}

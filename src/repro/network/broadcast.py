@@ -161,6 +161,10 @@ class AtomicBroadcast:
         for member in members:
             self._state[(group, member)] = _ReceiverState()
 
+    def has_group(self, group: str) -> bool:
+        """Whether ``group`` has been declared."""
+        return group in self._members
+
     def members_of(self, group: str) -> list[str]:
         """The receiver set of ``group``."""
         try:
@@ -322,6 +326,16 @@ class AtomicBroadcast:
         """
         self._transport = transport
         self._reliable_groups = set(groups)
+
+    def add_reliable_group(self, group: str) -> None:
+        """Route one more group through the reliable transport.
+
+        Used when a group is created after :meth:`set_transport` (e.g. a
+        collector migrating onto this shard mid-run).
+        """
+        if self._transport is None:
+            raise SimulationError("no reliable transport installed")
+        self._reliable_groups.add(group)
 
     def _sequencer_handler(self, seq_id: str):
         def handle(message: Message) -> None:

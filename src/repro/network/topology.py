@@ -25,7 +25,14 @@ import numpy as np
 
 from repro.exceptions import TopologyError
 
-__all__ = ["Topology", "provider_id", "collector_id", "governor_id"]
+__all__ = [
+    "Topology",
+    "ShardedTopology",
+    "balanced_groups",
+    "provider_id",
+    "collector_id",
+    "governor_id",
+]
 
 
 def provider_id(k: int) -> str:
@@ -149,6 +156,76 @@ class Topology:
             collector_links={c: tuple(ps) for c, ps in collector_links.items()},
         )
 
+    @staticmethod
+    def sharded(
+        l: int,
+        n: int,
+        m: int,
+        r: int,
+        shards: int,
+        seed: int | None = None,
+        masses: dict[str, float] | None = None,
+    ) -> "ShardedTopology":
+        """Partition an ``(l, n, m, r)`` deployment into ``shards`` shards.
+
+        Node counts split evenly: each shard gets ``l/shards`` providers,
+        ``n/shards`` collectors and ``m/shards`` governors, with the
+        global id spaces (``p*``, ``c*``, ``g*``) preserved.  Providers
+        and governors are dealt round-robin by index; collectors are
+        placed by :func:`balanced_groups` so each shard carries an equal
+        share of total reputation ``masses`` (uniform when omitted — the
+        genesis state).  Links within each shard follow the same
+        ergonomics as the flat builders: the deterministic circulant of
+        :meth:`regular`, or :meth:`random_regular` graphs (and a
+        permuted collector placement) when ``seed`` is given.
+
+        Raises:
+            TopologyError: when any role count is not divisible by
+                ``shards`` or a per-shard degree equation fails.
+        """
+        if shards < 1:
+            raise TopologyError(f"shard count must be >= 1, got {shards}")
+        if l % shards or n % shards or m % shards:
+            raise TopologyError(
+                f"node counts l={l} n={n} m={m} must all divide by shards={shards}"
+            )
+        providers = [provider_id(k) for k in range(l)]
+        collectors = [collector_id(i) for i in range(n)]
+        governors = [governor_id(j) for j in range(m)]
+        rng = np.random.default_rng(seed) if seed is not None else None
+        if rng is not None:
+            collectors = [collectors[int(i)] for i in rng.permutation(n)]
+        groups = balanced_groups(collectors, masses or {}, shards)
+        shard_topos = []
+        provider_shard: dict[str, int] = {}
+        collector_shard: dict[str, int] = {}
+        governor_shard: dict[str, int] = {}
+        for k in range(shards):
+            shard_providers = providers[k::shards]
+            shard_governors = governors[k::shards]
+            shard_collectors = sorted(groups[k], key=collectors.index)
+            if rng is None:
+                base = Topology.regular(l // shards, n // shards, m // shards, r)
+            else:
+                base = Topology.random_regular(
+                    l // shards, n // shards, m // shards, r, seed=seed + k + 1
+                )
+            shard_topos.append(
+                _relabel(base, shard_providers, shard_collectors, shard_governors)
+            )
+            for pid in shard_providers:
+                provider_shard[pid] = k
+            for cid in shard_collectors:
+                collector_shard[cid] = k
+            for gid in shard_governors:
+                governor_shard[gid] = k
+        return ShardedTopology(
+            shards=tuple(shard_topos),
+            provider_shard=provider_shard,
+            collector_shard=collector_shard,
+            governor_shard=governor_shard,
+        )
+
     # -- derived quantities ----------------------------------------------
 
     @property
@@ -204,6 +281,22 @@ class Topology:
         """
         if not self.providers or not self.collectors or not self.governors:
             raise TopologyError("topology must have at least one node of each role")
+        # Node ids must be unique within a role *and* across roles:
+        # every id is a network endpoint, a signing identity, and a
+        # reputation-book key, so a duplicate (e.g. a governor reusing a
+        # collector id) silently merges two nodes downstream.
+        for role, ids in (
+            ("provider", self.providers),
+            ("collector", self.collectors),
+            ("governor", self.governors),
+        ):
+            if len(set(ids)) != len(ids):
+                dupes = sorted({i for i in ids if ids.count(i) > 1})
+                raise TopologyError(f"duplicate {role} ids: {dupes}")
+        all_ids = (*self.providers, *self.collectors, *self.governors)
+        if len(set(all_ids)) != len(all_ids):
+            dupes = sorted({i for i in all_ids if all_ids.count(i) > 1})
+            raise TopologyError(f"node ids reused across roles: {dupes}")
         degrees_r = {len(cs) for cs in self.provider_links.values()}
         degrees_s = {len(ps) for ps in self.collector_links.values()}
         if len(degrees_r) != 1:
@@ -226,3 +319,95 @@ class Topology:
             for p in ps:
                 if c not in self.provider_links.get(p, ()):
                     raise TopologyError(f"asymmetric link: {c!r} -> {p!r} not mirrored")
+
+
+def _relabel(
+    base: Topology,
+    providers: list[str],
+    collectors: list[str],
+    governors: list[str],
+) -> Topology:
+    """Rename ``base``'s canonical ids onto the given member lists."""
+    pmap = dict(zip(base.providers, providers))
+    cmap = dict(zip(base.collectors, collectors))
+    return Topology(
+        providers=tuple(providers),
+        collectors=tuple(collectors),
+        governors=tuple(governors),
+        provider_links={
+            pmap[p]: tuple(cmap[c] for c in cs) for p, cs in base.provider_links.items()
+        },
+        collector_links={
+            cmap[c]: tuple(pmap[p] for p in ps) for c, ps in base.collector_links.items()
+        },
+    )
+
+
+def balanced_groups(
+    ids: list[str], masses: dict[str, float], groups: int
+) -> list[list[str]]:
+    """Partition ``ids`` into ``groups`` equal-size bins balancing mass.
+
+    Greedy LPT: rank ids by descending ``masses`` (missing entries count
+    as 1.0 — genesis weight), then place each into the lightest bin that
+    still has capacity, breaking ties by bin index.  Deterministic: the
+    ranking sort is stable in the input order, so callers vary placement
+    by permuting ``ids`` with their own seeded RNG.  This is the
+    RepChain-style reputation-balanced shard assignment.
+
+    Raises:
+        TopologyError: when ``len(ids)`` is not divisible by ``groups``.
+    """
+    if groups < 1:
+        raise TopologyError(f"group count must be >= 1, got {groups}")
+    if len(ids) % groups:
+        raise TopologyError(
+            f"{len(ids)} ids cannot split evenly into {groups} groups"
+        )
+    capacity = len(ids) // groups
+    ranked = sorted(ids, key=lambda i: -masses.get(i, 1.0))
+    bins: list[list[str]] = [[] for _ in range(groups)]
+    totals = [0.0] * groups
+    for node in ranked:
+        open_bins = [g for g in range(groups) if len(bins[g]) < capacity]
+        target = min(open_bins, key=lambda g: (totals[g], g))
+        bins[target].append(node)
+        totals[target] += masses.get(node, 1.0)
+    return bins
+
+
+@dataclass(frozen=True)
+class ShardedTopology:
+    """A disjoint family of per-shard :class:`Topology` structures.
+
+    Produced by :meth:`Topology.sharded`; consumed by
+    :class:`repro.sharding.ShardCoordinator`, which runs one protocol
+    engine per entry of :attr:`shards` over a shared simulator clock.
+    The ``*_shard`` maps give each node's home shard index.
+    """
+
+    shards: tuple[Topology, ...]
+    provider_shard: dict[str, int] = field(hash=False)
+    collector_shard: dict[str, int] = field(hash=False)
+    governor_shard: dict[str, int] = field(hash=False)
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for topo in self.shards:
+            ids = {*topo.providers, *topo.collectors, *topo.governors}
+            overlap = seen & ids
+            if overlap:
+                raise TopologyError(f"node ids appear on multiple shards: {sorted(overlap)}")
+            seen |= ids
+
+    @property
+    def num_shards(self) -> int:
+        """How many shards the deployment is split into."""
+        return len(self.shards)
+
+    def shard_of(self, node_id: str) -> int:
+        """The home shard index of any node id."""
+        for mapping in (self.provider_shard, self.collector_shard, self.governor_shard):
+            if node_id in mapping:
+                return mapping[node_id]
+        raise TopologyError(f"unknown node {node_id!r}")

@@ -1,0 +1,431 @@
+"""The shard coordinator: S protocol engines on one simulated clock.
+
+:class:`ShardCoordinator` owns a single
+:class:`~repro.network.simnet.Simulator` and runs one
+:class:`~repro.core.netengine.NetworkedProtocolEngine` per shard of a
+:class:`~repro.network.topology.ShardedTopology` on it.  Each engine
+keeps its own network, broadcast fabric, identity manager, and ledger
+family — shards are sovereign committees; only the clock, the workload
+router, and the receipt relay connect them.
+
+**Super-rounds.**  A super-round starts round ``t`` on *every* shard
+(:meth:`~repro.core.netengine.NetworkedProtocolEngine.begin_round`),
+drains the shared simulator once so all shards' packet traffic
+interleaves in one timeline, runs every argue phase, drains again, and
+closes all rounds.  The shards' rounds therefore **overlap** in
+simulated time: S shards commit up to ``S * b_limit`` records in the
+same sim-seconds one shard commits ``b_limit`` — the aggregate
+throughput scaling ``benchmarks/bench_shards.py`` (E14) measures.
+
+**Cross-shard transactions.**  The workload marks a transaction whose
+counterparty provider lives on another shard (payload key
+``"xshard_to"``).  It commits on its home shard like any transaction;
+the coordinator then mints a :class:`~repro.sharding.receipts.
+CrossShardReceipt` signed by the home proposer, verifies it against the
+home identity manager, and relays it to every governor of the remote
+shard (surviving any single governor crash).  The remote leader packs
+the receipt as a relay-signed record.  Exactly-once is layered:
+content-derived receipt ids, per-governor buffer dedup, the engine-wide
+applied-id set, and the pack-time ``_packed_tx_ids`` filter.  Receipts
+are *not* fault-exempt — lost relays are re-sent every super-round
+until the remote commit lands, and the
+:class:`~repro.audit.CrossShardAuditor` certifies no receipt was ever
+half-applied or replayed.
+
+**Epoch reshuffling.**  Every ``epoch_rounds`` super-rounds (or on an
+explicit :meth:`reshuffle` call) the coordinator reads live reputation
+masses from every engine, recomputes the balanced assignment
+(:mod:`repro.sharding.assignment`), and migrates collectors: the source
+engine retires them through the churn rules, the destination admits
+them into the vacated provider slots via the **median-bootstrap**
+readmission path — reputation never travels across shards.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.agents.behaviors import CollectorBehavior
+from repro.audit.config import AuditConfig
+from repro.audit.xshard import CrossShardAuditor
+from repro.core.netengine import NetworkedProtocolEngine, NetworkedRoundResult
+from repro.core.params import ProtocolParams
+from repro.exceptions import ConfigurationError
+from repro.faults.plan import FaultPlan
+from repro.network.simnet import Simulator
+from repro.network.topology import ShardedTopology
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.sharding.assignment import (
+    Migration,
+    migration_moves,
+    reshuffle_assignment,
+)
+from repro.sharding.receipts import CrossShardReceipt, make_receipt, verify_receipt
+from repro.workloads.generator import TxSpec
+
+__all__ = ["ShardCoordinator", "SuperRoundResult"]
+
+
+@dataclass
+class SuperRoundResult:
+    """Outcome of one super-round across all shards."""
+
+    round_number: int
+    shard_results: list[NetworkedRoundResult]
+    #: Origin (non-receipt) records committed this super-round.
+    committed_tx: int
+    #: Receipts minted from fresh home-shard commits this super-round.
+    receipts_minted: int
+    #: Receipt records that landed on their remote shard this super-round.
+    receipts_committed: int
+    #: Migrations applied by an epoch reshuffle at the end of the round.
+    migrations: list[Migration] = field(default_factory=list)
+
+
+class ShardCoordinator:
+    """Drive ``S`` shard engines through overlapping rounds.
+
+    Args:
+        topology: The sharded deployment (:meth:`Topology.sharded`).
+        params: Shared protocol parameters (one ``b_limit`` per shard
+            block, so aggregate capacity scales with the shard count).
+        behaviors: Global collector id -> behaviour map; each behaviour
+            follows its collector through epoch migrations.
+        seed: Master seed.  Shard ``k``'s engine derives its own seed
+            from it, and reshuffle permutations mix in the epoch.
+        epoch_rounds: Reshuffle every this many super-rounds (None:
+            only on explicit :meth:`reshuffle` calls).
+        min_delay / max_delay / resilience / obs / audit: Forwarded to
+            every shard engine (see
+            :class:`~repro.core.netengine.NetworkedProtocolEngine`).
+    """
+
+    def __init__(
+        self,
+        topology: ShardedTopology,
+        params: ProtocolParams,
+        behaviors: Mapping[str, CollectorBehavior] | None = None,
+        seed: int = 0,
+        epoch_rounds: int | None = None,
+        min_delay: float = 0.005,
+        max_delay: float = 0.05,
+        resilience: bool = False,
+        obs: MetricsRegistry | None = None,
+        audit: AuditConfig | None = None,
+    ):
+        if epoch_rounds is not None and epoch_rounds < 1:
+            raise ConfigurationError(f"epoch_rounds must be >= 1, got {epoch_rounds}")
+        self.topology = topology
+        self.params = params
+        self.seed = seed
+        self.epoch_rounds = epoch_rounds
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self.sim = Simulator(seed=seed)
+        self.obs.bind_clock(lambda: self.sim.now)
+        self._behaviors = dict(behaviors or {})
+        self.engines: list[NetworkedProtocolEngine] = []
+        for k, shard_topo in enumerate(topology.shards):
+            shard_behaviors = {
+                cid: b
+                for cid, b in self._behaviors.items()
+                if cid in shard_topo.collectors
+            }
+            engine = NetworkedProtocolEngine(
+                shard_topo,
+                params,
+                behaviors=shard_behaviors,
+                seed=seed + 7919 * (k + 1),
+                min_delay=min_delay,
+                max_delay=max_delay,
+                resilience=resilience,
+                obs=self.obs,
+                audit=audit,
+                sim=self.sim,
+            )
+            engine.enable_xshard(relay_id=f"relay-s{k}")
+            self.engines.append(engine)
+        self.auditor = CrossShardAuditor(obs=self.obs)
+        self.provider_shard = dict(topology.provider_shard)
+        self.collector_shard = dict(topology.collector_shard)
+        self._round = 0
+        self._epoch = 0
+        # Per-shard scan cursor into the published store (receipt minting).
+        self._cursors = [0] * topology.num_shards
+        # Per-shard offered-but-not-yet-started workload.
+        self._backlog: list[deque[TxSpec]] = [deque() for _ in topology.shards]
+        # receipt_id -> (receipt, home-commit sim time) awaiting remote leg.
+        self._pending: dict[str, tuple[CrossShardReceipt, float]] = {}
+        # (super-round, epoch, migrations applied)
+        self.reshuffle_log: list[tuple[int, int, list[Migration]]] = []
+        self.committed_total = 0
+        self._m_rounds = self.obs.counter(
+            "shard_rounds_total", "Per-shard rounds executed", labels=("shard",)
+        )
+        self._m_committed = self.obs.counter(
+            "shard_committed_tx_total",
+            "Origin (non-receipt) records committed, by shard",
+            labels=("shard",),
+        )
+        self._m_cross_out = self.obs.counter(
+            "shard_cross_tx_out_total",
+            "Cross-shard transactions home-committed (receipts minted), by home shard",
+            labels=("shard",),
+        )
+        self._m_cross_in = self.obs.counter(
+            "shard_cross_tx_in_total",
+            "Cross-shard receipts committed on their remote shard, by that shard",
+            labels=("shard",),
+        )
+        self._m_relays = self.obs.counter(
+            "shard_receipt_relays_total",
+            "Receipt relay fan-outs, first sends vs retries",
+            labels=("attempt",),
+        )
+        self._m_cross_latency = self.obs.histogram(
+            "shard_cross_latency_seconds",
+            "Sim-time from home-shard commit to remote-shard commit",
+            buckets=(0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
+        )
+        self._m_reshuffles = self.obs.counter(
+            "shard_reshuffles_total", "Epoch reshuffles executed"
+        )
+        self._m_migrations = self.obs.counter(
+            "shard_migrations_total", "Collector migrations applied by reshuffles"
+        )
+        self._m_mass = self.obs.gauge(
+            "shard_reputation_mass",
+            "Total live collector reputation mass hosted, by shard",
+            labels=("shard",),
+        )
+        self._update_mass_gauge()
+
+    # -- workload routing -------------------------------------------------
+
+    def submit(self, specs: Sequence[TxSpec]) -> None:
+        """Queue workload; each spec lands on its provider's home shard.
+
+        Shards consume their backlog at up to ``b_limit`` per round, so
+        offered load beyond capacity is buffered, not dropped — the
+        saturation regime the throughput benchmark runs in.
+        """
+        for spec in specs:
+            shard = self.provider_shard.get(spec.provider)
+            if shard is None:
+                raise ConfigurationError(f"unknown provider {spec.provider!r}")
+            self._backlog[shard].append(spec)
+
+    def backlog_depth(self) -> int:
+        """Total specs queued and not yet offered to a shard."""
+        return sum(len(q) for q in self._backlog)
+
+    # -- super-round execution --------------------------------------------
+
+    def run_super_round(self) -> SuperRoundResult:
+        """Run one protocol round on every shard, overlapped in sim time."""
+        self._round += 1
+        # Re-relay receipts whose remote commit is still outstanding
+        # (first relay lost to faults, or the remote leader crashed
+        # before packing).  Receiver-side dedup makes retries harmless.
+        for rid in sorted(self._pending):
+            self._relay(self._pending[rid][0], attempt="retry")
+        ctxs = []
+        for k, engine in enumerate(self.engines):
+            capacity = self.params.b_limit - len(engine._reevaluated_queue)
+            queue = self._backlog[k]
+            specs = [queue.popleft() for _ in range(min(max(capacity, 0), len(queue)))]
+            ctxs.append(engine.begin_round(specs))
+        self.sim.run(until=max(ctx.drain_until for ctx in ctxs))
+        argue_until = [
+            engine.begin_argue(ctx) for engine, ctx in zip(self.engines, ctxs)
+        ]
+        self.sim.run(until=max(argue_until))
+        results = [
+            engine.complete_round(ctx) for engine, ctx in zip(self.engines, ctxs)
+        ]
+        for k in range(len(self.engines)):
+            self._m_rounds.labels(shard=str(k)).inc()
+        minted, receipts_in, origin = self._scan_and_relay()
+        self.committed_total += origin
+        migrations: list[Migration] = []
+        if self.epoch_rounds is not None and self._round % self.epoch_rounds == 0:
+            migrations = self.reshuffle()
+        self._update_mass_gauge()
+        return SuperRoundResult(
+            round_number=self._round,
+            shard_results=results,
+            committed_tx=origin,
+            receipts_minted=minted,
+            receipts_committed=receipts_in,
+            migrations=migrations,
+        )
+
+    def _scan_and_relay(self) -> tuple[int, int, int]:
+        """Advance block cursors: mint+relay receipts, settle remote legs."""
+        minted = receipts_in = origin = 0
+        for k, engine in enumerate(self.engines):
+            while self._cursors[k] < engine.store.height:
+                self._cursors[k] += 1
+                block = engine.store.retrieve(self._cursors[k])
+                for record in block.tx_list:
+                    payload = record.tx.body.payload
+                    if isinstance(payload, dict) and "xshard_receipt" in payload:
+                        receipts_in += 1
+                        self._m_cross_in.labels(shard=str(k)).inc()
+                        rid = payload["xshard_receipt"]
+                        pending = self._pending.pop(rid, None)
+                        if pending is not None:
+                            self._m_cross_latency.observe(self.sim.now - pending[1])
+                        self.auditor.record_remote_commit(
+                            rid, shard=k, serial=block.serial, round_number=self._round
+                        )
+                        continue
+                    origin += 1
+                    self._m_committed.labels(shard=str(k)).inc()
+                    if not (isinstance(payload, dict) and "xshard_to" in payload):
+                        continue
+                    target = self.provider_shard.get(payload["xshard_to"])
+                    if target is None or target == k:
+                        continue  # same-shard counterparty needs no relay
+                    receipt = make_receipt(
+                        engine.governors[block.proposer].key,
+                        home_shard=k,
+                        remote_shard=target,
+                        tx_id=record.tx.tx_id,
+                        home_serial=block.serial,
+                    )
+                    self.auditor.record_home_commit(receipt, engine.im, self._round)
+                    minted += 1
+                    self._m_cross_out.labels(shard=str(k)).inc()
+                    self._pending[receipt.receipt_id] = (receipt, self.sim.now)
+                    self._relay(receipt, attempt="first")
+        return minted, receipts_in, origin
+
+    def _relay(self, receipt: CrossShardReceipt, attempt: str) -> None:
+        """Fan a verified receipt out to every remote-shard governor.
+
+        Sending to the full governor set (not just the next leader)
+        is what lets a relay survive any single governor crash: the
+        eventual pack-time leader, whoever it is, holds the receipt.
+        """
+        engine = self.engines[receipt.remote_shard]
+        home = self.engines[receipt.home_shard]
+        if not verify_receipt(receipt, home.im):
+            raise ConfigurationError(
+                f"refusing to relay unverifiable receipt {receipt.receipt_id}"
+            )
+        relay_id = engine._xshard_relay
+        for gid in engine.topology.governors:
+            engine.network.send(relay_id, gid, receipt)
+        self._m_relays.labels(attempt=attempt).inc()
+
+    # -- epoch reshuffling -------------------------------------------------
+
+    def reshuffle(self) -> list[Migration]:
+        """Rebalance collectors across shards by live reputation mass.
+
+        Reads every engine's :meth:`collector_masses`, recomputes the
+        seeded balanced assignment for the new epoch, and migrates the
+        collectors that change shard: released from the source engine
+        (churn retirement) and adopted by the destination into the
+        vacated provider slots via median-bootstrap readmission.
+        Returns the migrations applied (possibly none).
+        """
+        self._epoch += 1
+        masses: dict[str, float] = {}
+        for engine in self.engines:
+            masses.update(engine.collector_masses())
+        target = reshuffle_assignment(
+            self.collector_shard,
+            masses,
+            self.topology.num_shards,
+            seed=self.seed,
+            epoch=self._epoch,
+        )
+        moves = migration_moves(self.collector_shard, target)
+        # Release every migrant first (capturing its provider slots and
+        # live behaviour), then fill each shard's vacancies in sorted
+        # arrival order — deterministic slot inheritance.
+        released: dict[str, tuple[tuple[str, ...], CollectorBehavior]] = {}
+        vacancies: dict[int, deque[tuple[str, ...]]] = {}
+        for move in moves:
+            providers, behavior = self.engines[move.source].release_collector(
+                move.collector
+            )
+            released[move.collector] = (providers, behavior)
+            vacancies.setdefault(move.source, deque()).append(providers)
+        for move in moves:
+            slots = vacancies[move.target].popleft()
+            _, behavior = released[move.collector]
+            self.engines[move.target].adopt_collector(
+                move.collector, slots, behavior=behavior
+            )
+        self.collector_shard = dict(target)
+        self.reshuffle_log.append((self._round, self._epoch, moves))
+        self._m_reshuffles.inc()
+        self._m_migrations.inc(len(moves))
+        self._update_mass_gauge()
+        return moves
+
+    def _update_mass_gauge(self) -> None:
+        for k, engine in enumerate(self.engines):
+            total = sum(engine.collector_masses().values())
+            self._m_mass.labels(shard=str(k)).set(total)
+
+    # -- faults, finalisation, reporting -----------------------------------
+
+    def install_faults(self, shard: int, plan: FaultPlan, tamperer=None):
+        """Install a seeded fault plan on one shard's engine."""
+        return self.engines[shard].install_faults(plan, tamperer=tamperer)
+
+    def flush(self, max_rounds: int = 6) -> int:
+        """Run empty super-rounds until no receipt awaits its remote leg.
+
+        Returns the number of flush rounds executed.  Bounded: a receipt
+        that cannot land within ``max_rounds`` (e.g. its remote shard
+        has no live governor) is left pending for :meth:`finalize`'s
+        auditor to flag as half-applied.
+        """
+        executed = 0
+        # Stash the backlog so flush rounds are genuinely empty — under
+        # saturating offered load the drain could otherwise mint new
+        # receipts every round and never converge.
+        stashed = self._backlog
+        self._backlog = [deque() for _ in self.engines]
+        try:
+            while self._pending and executed < max_rounds:
+                self.run_super_round()
+                executed += 1
+        finally:
+            self._backlog = stashed
+        return executed
+
+    def finalize(self, flush: bool = True):
+        """Close the run: drain relays, finalize engines, audit atomicity.
+
+        Returns the :class:`~repro.audit.auditor.AuditReport` of the
+        cross-shard auditor; ``report.clean`` means every cross-shard
+        transaction committed exactly once on both legs.
+        """
+        if flush:
+            self.flush()
+        for engine in self.engines:
+            engine.finalize()
+        return self.auditor.finalize(self._round)
+
+    def throughput(self) -> float:
+        """Aggregate committed origin records per simulated second."""
+        if self.sim.now <= 0:
+            return 0.0
+        return self.committed_total / self.sim.now
+
+    def tip_hashes(self) -> list[str]:
+        """Each shard's chain tip hash (the determinism fingerprint)."""
+        tips = []
+        for engine in self.engines:
+            height = engine.store.height
+            tips.append(
+                engine.store.retrieve(height).hash().hex() if height else ""
+            )
+        return tips

@@ -30,11 +30,20 @@ __all__ = ["TxSpec", "WorkloadGenerator", "BernoulliWorkload", "PerProviderWorkl
 
 @dataclass(frozen=True)
 class TxSpec:
-    """One workload entry: who sends what, and whether it is valid."""
+    """One workload entry: who sends what, and whether it is valid.
+
+    ``counterparty`` names another provider the transaction settles
+    against; when that provider lives on a different shard of a sharded
+    deployment the transaction is cross-shard (committed at home, then
+    receipt-committed on the counterparty's shard).  ``None`` — the
+    default, and the only value non-sharded runs ever see — means the
+    transaction is purely local.
+    """
 
     provider: str
     payload: object
     is_valid: bool
+    counterparty: str | None = None
 
 
 class WorkloadGenerator:

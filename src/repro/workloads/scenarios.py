@@ -42,7 +42,16 @@ from repro.workloads.generator import (
     WorkloadGenerator,
 )
 
-__all__ = ["Scenario", "SCENARIOS", "scenario_names", "build_engine"]
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "ShardScenario",
+    "SHARD_SCENARIOS",
+    "scenario_names",
+    "shard_scenario_names",
+    "build_engine",
+    "build_shard_deployment",
+]
 
 
 @dataclass(frozen=True)
@@ -185,9 +194,100 @@ SCENARIOS: dict[str, Scenario] = {
 }
 
 
+@dataclass(frozen=True)
+class ShardScenario:
+    """A named sharded-deployment preset.
+
+    Materialised by :func:`build_shard_deployment` into a
+    :class:`~repro.sharding.ShardCoordinator` plus a
+    :class:`~repro.workloads.xshard.CrossShardWorkload`; the node
+    counts are deployment-wide totals, split evenly across ``shards``.
+    """
+
+    name: str
+    description: str
+    l: int
+    n: int
+    m: int
+    r: int
+    shards: int
+    params: ProtocolParams
+    rounds: int
+    #: Specs offered per super-round (router-buffered beyond capacity).
+    batch: int
+    p_cross: float
+    epoch_rounds: int | None = None
+
+
+SHARD_SCENARIOS: dict[str, ShardScenario] = {
+    s.name: s
+    for s in [
+        ShardScenario(
+            name="sharded-smoke",
+            description="two tiny shards with light cross-shard traffic",
+            l=8, n=4, m=4, r=2, shards=2,
+            params=ProtocolParams(f=0.5, delta=0.2, b_limit=16),
+            rounds=5, batch=16, p_cross=0.2,
+        ),
+        ShardScenario(
+            name="sharded-quad",
+            description="four shards, saturating load, epoch reshuffles",
+            l=24, n=8, m=8, r=2, shards=4,
+            params=ProtocolParams(f=0.5, delta=0.2, b_limit=16),
+            rounds=12, batch=80, p_cross=0.15, epoch_rounds=4,
+        ),
+    ]
+}
+
+
 def scenario_names() -> list[str]:
     """All registered scenario names."""
     return sorted(SCENARIOS)
+
+
+def shard_scenario_names() -> list[str]:
+    """All registered sharded-scenario names."""
+    return sorted(SHARD_SCENARIOS)
+
+
+def build_shard_deployment(name: str, seed: int = 0):
+    """Materialise a named sharded scenario.
+
+    Returns:
+        ``(coordinator, workload, scenario)``; run it with
+        ``coordinator.submit(workload.take(scenario.batch))`` +
+        ``coordinator.run_super_round()`` per round, then
+        ``coordinator.finalize()``.
+
+    Raises:
+        ConfigurationError: unknown scenario name.
+    """
+    # Imported here: repro.sharding pulls in the networked engine stack,
+    # which the in-process scenario users never need.
+    from repro.sharding import ShardCoordinator
+    from repro.workloads.xshard import CrossShardWorkload
+
+    scenario = SHARD_SCENARIOS.get(name)
+    if scenario is None:
+        raise ConfigurationError(
+            f"unknown shard scenario {name!r}; available: {shard_scenario_names()}"
+        )
+    sharded = Topology.sharded(
+        l=scenario.l, n=scenario.n, m=scenario.m, r=scenario.r,
+        shards=scenario.shards,
+    )
+    coordinator = ShardCoordinator(
+        sharded,
+        scenario.params,
+        seed=seed,
+        epoch_rounds=scenario.epoch_rounds,
+    )
+    providers = [p for topo in sharded.shards for p in topo.providers]
+    inner = BernoulliWorkload(providers, p_valid=0.8, seed=seed + 1)
+    workload = CrossShardWorkload(
+        inner, sharded.provider_shard, p_cross=scenario.p_cross, seed=seed + 2
+    )
+    return coordinator, workload, scenario
 
 
 def build_engine(

@@ -161,3 +161,28 @@ class TestShippedResults:
         names = set(doc["observability"]["metrics"])
         assert "audit_violations_total" in names
         assert "byz_tampered_total" in names
+
+    def test_e14_shards_twin_is_well_formed(self, helpers):
+        """The E14 sweep's structured metrics back its headline claims:
+        4 shards at least double the aggregate throughput of 1 shard at
+        equal node totals, with cross-shard atomicity intact under the
+        fault plan and bit-identical seeded repeats."""
+        path = helpers.RESULTS_DIR / "BENCH_E14_shards.json"
+        if not path.exists():
+            pytest.skip("E14 results not generated")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == helpers.BENCH_SCHEMA
+        sweep = doc["metrics"]["shard_sweep"]
+        assert [row["shards"] for row in sweep] == [1, 2, 4]
+        for row in sweep:
+            assert row["audit_clean"], row
+            assert row["atomicity_violations"] == 0, row
+            assert row["receipts_pending"] == 0, row
+        assert doc["metrics"]["speedup_s4_vs_s1"] >= 2.0
+        assert doc["metrics"]["deterministic"]
+        assert doc["metrics"]["all_ok"]
+        # The shard coordinator's telemetry rode along in the snapshot.
+        names = set(doc["observability"]["metrics"])
+        assert "shard_rounds_total" in names
+        assert "shard_cross_tx_in_total" in names
+        assert "shard_receipt_relays_total" in names

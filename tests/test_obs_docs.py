@@ -25,7 +25,9 @@ from repro.workloads.generator import BernoulliWorkload
 DOC = pathlib.Path(__file__).parent.parent / "OBSERVABILITY.md"
 
 #: Anything shaped like one of our metric names.
-_METRIC_TOKEN = re.compile(r"\b(?:net|abcast|rel|gov|rep|engine|audit|byz)_[a-z0-9_]+\b")
+_METRIC_TOKEN = re.compile(
+    r"\b(?:net|abcast|rel|gov|rep|engine|audit|byz|shard)_[a-z0-9_]+\b"
+)
 
 
 @pytest.fixture(scope="module")
@@ -43,6 +45,16 @@ def registered() -> MetricsRegistry:
     )
     ProtocolEngine(topo, ProtocolParams(f=0.5), seed=0, obs=reg)
     MessageTamperer(TamperSpec(flip_label=0.1), seed=0, obs=reg)
+    # The sharding layer: coordinator metrics plus the cross-shard
+    # auditor's counters ride on the same registry.
+    from repro.sharding import ShardCoordinator
+
+    ShardCoordinator(
+        Topology.sharded(l=4, n=2, m=2, r=1, shards=2),
+        ProtocolParams(f=0.5, delta=0.2),
+        seed=0,
+        obs=reg,
+    )
     return reg
 
 

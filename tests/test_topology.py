@@ -122,3 +122,99 @@ def test_property_regular_topology_valid(args):
     topo = Topology.regular(l=l, n=n, m=m, r=r)
     topo.validate()
     assert topo.r * topo.l == topo.s * topo.n
+
+
+class TestDuplicateIds:
+    def _rebuild(self, topo, **overrides):
+        broken = Topology.__new__(Topology)
+        for name in ("providers", "collectors", "governors",
+                     "provider_links", "collector_links"):
+            object.__setattr__(broken, name, overrides.get(name, getattr(topo, name)))
+        return broken
+
+    def test_duplicate_within_role_rejected(self):
+        topo = Topology.regular(l=4, n=2, m=2, r=1)
+        broken = self._rebuild(topo, governors=("g0", "g0"))
+        with pytest.raises(TopologyError, match="duplicate governor ids"):
+            broken.validate()
+
+    def test_id_reuse_across_roles_rejected(self):
+        topo = Topology.regular(l=4, n=2, m=2, r=1)
+        # A governor reusing a collector id would merge two identities.
+        broken = self._rebuild(topo, governors=("c0", "g1"))
+        with pytest.raises(TopologyError, match="reused across roles"):
+            broken.validate()
+
+
+class TestSharded:
+    def test_shapes_and_global_ids(self):
+        sharded = Topology.sharded(l=8, n=4, m=4, r=2, shards=2)
+        assert sharded.num_shards == 2
+        for topo in sharded.shards:
+            assert (topo.l, topo.n, topo.m, topo.r) == (4, 2, 2, 2)
+        all_providers = sorted(p for t in sharded.shards for p in t.providers)
+        assert all_providers == sorted(f"p{k}" for k in range(8))
+
+    def test_partition_is_disjoint_and_total(self):
+        sharded = Topology.sharded(l=12, n=6, m=3, r=2, shards=3)
+        assert sorted(sharded.provider_shard) == sorted(f"p{k}" for k in range(12))
+        assert sorted(sharded.collector_shard) == sorted(f"c{i}" for i in range(6))
+        assert sorted(sharded.governor_shard) == sorted(f"g{j}" for j in range(3))
+        for node, shard in sharded.collector_shard.items():
+            assert node in sharded.shards[shard].collectors
+            assert sharded.shard_of(node) == shard
+
+    def test_each_shard_satisfies_degree_equation(self):
+        sharded = Topology.sharded(l=24, n=8, m=8, r=2, shards=4)
+        for topo in sharded.shards:
+            topo.validate()
+            assert topo.r * topo.l == topo.s * topo.n
+
+    def test_masses_balance_reputation(self):
+        # One heavy collector per pair: LPT must split heavies apart.
+        masses = {"c0": 10.0, "c1": 10.0, "c2": 1.0, "c3": 1.0}
+        sharded = Topology.sharded(l=8, n=4, m=2, r=2, shards=2, masses=masses)
+        totals = [
+            sum(masses[c] for c in topo.collectors) for topo in sharded.shards
+        ]
+        assert totals[0] == totals[1] == 11.0
+
+    def test_seeded_build_is_deterministic(self):
+        a = Topology.sharded(l=8, n=4, m=4, r=2, shards=2, seed=5)
+        b = Topology.sharded(l=8, n=4, m=4, r=2, shards=2, seed=5)
+        assert [t.collectors for t in a.shards] == [t.collectors for t in b.shards]
+        assert [t.provider_links for t in a.shards] == [
+            t.provider_links for t in b.shards
+        ]
+
+    def test_indivisible_counts_rejected(self):
+        with pytest.raises(TopologyError, match="divide by shards"):
+            Topology.sharded(l=9, n=4, m=4, r=2, shards=2)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(TopologyError, match="shard count"):
+            Topology.sharded(l=8, n=4, m=4, r=2, shards=0)
+
+    def test_single_shard_matches_flat_shape(self):
+        sharded = Topology.sharded(l=8, n=4, m=3, r=2, shards=1)
+        flat = Topology.regular(l=8, n=4, m=3, r=2)
+        (only,) = sharded.shards
+        assert only.providers == flat.providers
+        assert only.provider_links == flat.provider_links
+
+
+class TestBalancedGroups:
+    def test_uneven_split_rejected(self):
+        from repro.network.topology import balanced_groups
+
+        with pytest.raises(TopologyError):
+            balanced_groups(["a", "b", "c"], {}, 2)
+
+    def test_equal_capacity_enforced(self):
+        from repro.network.topology import balanced_groups
+
+        # Even with one dominant mass, bins stay equal-size.
+        groups = balanced_groups(
+            ["a", "b", "c", "d"], {"a": 100.0}, 2
+        )
+        assert sorted(len(g) for g in groups) == [2, 2]
