@@ -10,7 +10,12 @@ Subcommands:
 * ``baselines`` — the E8 policy comparison on one adversary mix;
 * ``scenario`` — run a named preset from the scenario registry;
 * ``shard`` — run an S-shard deployment (named preset or explicit
-  shape) and print per-shard + aggregate statistics.
+  shape) and print per-shard + aggregate statistics;
+* ``durable`` — run a durable-ledger preset committing every block to
+  an on-disk segment log (the kill-restart chaos harness drives this
+  as a subprocess and SIGKILLs it mid-round);
+* ``recover`` — replay and verify a durable ledger directory, printing
+  the recovery report without starting an engine.
 
 Example::
 
@@ -126,6 +131,27 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--seed", type=int, default=0)
     shard.add_argument("--rounds", type=int, default=None,
                        help="override the preset's super-round count")
+
+    from repro.workloads.scenarios import durable_scenario_names
+
+    durable = sub.add_parser(
+        "durable", help="run a durable-ledger preset against a storage dir"
+    )
+    durable.add_argument("--preset", choices=durable_scenario_names(),
+                         default="durable-smoke")
+    durable.add_argument("--dir", required=True,
+                         help="ledger directory (segments + checkpoints)")
+    durable.add_argument("--seed", type=int, default=0)
+    durable.add_argument("--rounds", type=int, default=None,
+                         help="override the preset's round count")
+    durable.add_argument("--round-delay", type=float, default=0.0,
+                         help="wall-clock sleep after each round (lets a "
+                              "chaos harness land a SIGKILL mid-run)")
+
+    recover = sub.add_parser(
+        "recover", help="verify a durable ledger directory and print the report"
+    )
+    recover.add_argument("--dir", required=True)
     return parser
 
 
@@ -306,6 +332,53 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     return 0 if report.clean and all_hold else 1
 
 
+def _cmd_durable(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.workloads.scenarios import build_durable_engine
+
+    engine, workload, scenario = build_durable_engine(
+        args.preset, seed=args.seed, storage_dir=args.dir
+    )
+    rounds = args.rounds if args.rounds is not None else scenario.rounds
+    report = engine.recovery_report
+    print(f"durable scenario: {scenario.name} — {scenario.description}")
+    print(f"storage: {args.dir} (checkpoint every "
+          f"{scenario.checkpoint_interval} blocks)")
+    print(f"recovery: {report.summary()}", flush=True)
+    for _ in range(rounds):
+        engine.run_round(workload.take(scenario.batch))
+        # The flushed marker is the chaos harness's kill cue: seeing
+        # "round k" on stdout guarantees block k was fsynced.
+        print(f"round {engine.store.height} tip={engine.store.tip_hash().hex()}",
+              flush=True)
+        if args.round_delay > 0:
+            _time.sleep(args.round_delay)
+    engine.finalize()
+    clean = engine.harness_auditor.report.clean
+    print(f"final height {engine.store.height} "
+          f"tip={engine.store.tip_hash().hex()}")
+    print(f"auditor clean: {clean}")
+    return 0 if clean else 1
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.storage import recover
+
+    report = recover(args.dir)
+    print(f"recovery: {report.summary()}")
+    if report.blocks:
+        tip = report.blocks[-1].hash().hex()
+    elif report.base_serial:
+        tip = report.base_hash.hex() + " (checkpoint base)"
+    else:
+        tip = "(empty)"
+    print(f"tip: {tip}")
+    for bad in report.corruptions:
+        print(f"  !! {bad.kind} in {bad.target} @ {bad.offset}: {bad.detail}")
+    return 0 if report.clean else 1
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "regret": _cmd_regret,
@@ -313,6 +386,8 @@ _COMMANDS = {
     "baselines": _cmd_baselines,
     "scenario": _cmd_scenario,
     "shard": _cmd_shard,
+    "durable": _cmd_durable,
+    "recover": _cmd_recover,
 }
 
 

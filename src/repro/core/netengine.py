@@ -86,7 +86,8 @@ from repro.crypto.signatures import sign
 from repro.exceptions import ConfigurationError, SimulationError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
-from repro.ledger.block import GENESIS_PREV_HASH, Block
+from repro.ledger.block import Block
+from repro.ledger.chain import Ledger
 from repro.ledger.properties import RunTranscript
 from repro.ledger.store import BlockStore
 from repro.ledger.sync import sync_replica
@@ -104,6 +105,9 @@ from repro.network.reliable import ReliableChannel
 from repro.network.simnet import Message, Simulator, SyncNetwork
 from repro.network.topology import Topology
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.storage.checkpoints import reputation_digest
+from repro.storage.durable import StorageConfig, open_durable_store, storage_metrics
+from repro.storage.recovery import RecoveryReport
 from repro.workloads.generator import TxSpec
 
 __all__ = [
@@ -221,6 +225,7 @@ class NetworkedProtocolEngine:
         obs: MetricsRegistry | None = None,
         audit: AuditConfig | None = None,
         sim: Simulator | None = None,
+        storage: StorageConfig | None = None,
     ):
         if params.delta < 2 * max_delay:
             raise ConfigurationError(
@@ -233,7 +238,23 @@ class NetworkedProtocolEngine:
         self.im = IdentityManager(seed=seed, obs=self.obs)
         self.oracle = GroundTruthOracle()
         self.transcript = RunTranscript()
-        self.store = BlockStore()
+        # The storage_* family registers unconditionally (like audit_*)
+        # so the telemetry inventory is identical with durability off.
+        self._m_storage = storage_metrics(self.obs)
+        self.recovery_report: RecoveryReport | None = None
+        if storage is not None:
+            # Opening the store IS crash recovery: segments are
+            # replayed and verified, corrupt tails truncated.  The
+            # governors' replicas are re-anchored below, once built.
+            self.store, self.recovery_report = open_durable_store(
+                storage,
+                obs=self.obs,
+                book_digest_fn=lambda: reputation_digest(
+                    {gid: gov.book for gid, gov in self.governors.items()}
+                ),
+            )
+        else:
+            self.store = BlockStore()
         self.sim = sim if sim is not None else Simulator(seed=seed)
         self.obs.bind_clock(lambda: self.sim.now)
         self.network = SyncNetwork(
@@ -371,6 +392,31 @@ class NetworkedProtocolEngine:
             for gid in topology.governors
         }
 
+        # -- restart-from-disk hand-off ---------------------------------
+        # A durable store that recovered state re-seeds every governor's
+        # replica: anchored at the checkpoint when the prefix was
+        # compacted, then fast-forwarded through the replayed blocks via
+        # the PR-1 rejoin path (sync_replica).  Peer sync (sync_from_peer)
+        # later covers only the suffix the disk didn't have.
+        if self.store.height > 0 or self.store.base_serial > 0:
+            base = self.store.base_serial
+            for gid, gov in self.governors.items():
+                if base > 0:
+                    gov.ledger = Ledger.from_checkpoint(
+                        owner=gid, serial=base, tip_hash=self.store.base_hash
+                    )
+                sync_replica(gov.ledger, self.store)
+            for serial in range(base + 1, self.store.height + 1):
+                for record in self.store.retrieve(serial).tx_list:
+                    self._packed_tx_ids.add(record.tx.tx_id)
+            # Resume the round counter past the recovered tip so freshly
+            # packed blocks never reuse a committed round number.
+            self._round = (
+                self.store.retrieve(self.store.height).round_number
+                if self.store.height > base
+                else base
+            )
+
         initial_stake = dict(stake) if stake else {g: 1 for g in topology.governors}
         self.stake = StakeLedger.from_balances(initial_stake)
         self.election = LeaderElection(im=self.im, governor_order=list(topology.governors))
@@ -488,7 +534,7 @@ class NetworkedProtocolEngine:
             if self.audit.enabled and self.audit.block_integrity:
                 store_hash = (
                     self.store.retrieve(block.serial).hash()
-                    if 1 <= block.serial <= self.store.height
+                    if self.store.base_serial < block.serial <= self.store.height
                     else None
                 )
                 violations = self.auditors[gid].audit_block(
@@ -723,6 +769,7 @@ class NetworkedProtocolEngine:
             for governor in self.governors.values():
                 if governor.book.is_registered(node_id):
                     governor.drop_collector(node_id)
+            self.store.forget_reader(node_id)
         else:
             role = "other"
         self.quarantine_log.append(
@@ -876,6 +923,41 @@ class NetworkedProtocolEngine:
         self.fault_log.append((self.sim.now, "recover", gid, synced))
         self._m_crash_events.labels(event="recover").inc()
 
+    def sync_from_peer(self, peer_store: BlockStore) -> int:
+        """Pull the chain suffix this node lacks from a live peer.
+
+        The second half of restart-from-disk: recovery replayed what the
+        local segments held, and this fetches only the remainder from a
+        peer's published store.  Each pulled block lands through
+        ``publish`` (so a durable store persists it) and then through
+        every governor replica's ``append`` — the hash chain, not the
+        peer, authenticates the transfer.  Returns the number of blocks
+        pulled.
+
+        Raises:
+            LedgerError: the peer's chain does not extend this node's
+                verified tip (a divergent or corrupt peer).
+        """
+        pulled = 0
+        while self.store.height < peer_store.height:
+            block = peer_store.retrieve(self.store.height + 1)
+            self.store.publish(block)
+            for record in block.tx_list:
+                self._packed_tx_ids.add(record.tx.tx_id)
+            self._m_storage["recovered"].labels(source="peer").inc()
+            pulled += 1
+        if pulled:
+            for gov in self.governors.values():
+                sync_replica(gov.ledger, self.store)
+            self._round = max(
+                self._round, self.store.retrieve(self.store.height).round_number
+            )
+            if self.audit.enabled and len(self.governors) >= 2:
+                self.harness_auditor.audit_agreement(
+                    [gov.ledger for gov in self.governors.values()], self._round
+                )
+        return pulled
+
     def crash_collector(self, cid: str, retire: bool = True) -> None:
         """Crash-stop a collector; by default churn it out immediately.
 
@@ -892,6 +974,9 @@ class NetworkedProtocolEngine:
             for governor in self.governors.values():
                 if governor.book.is_registered(cid):
                     governor.drop_collector(cid)
+            # A retired node's read cursor would otherwise leak forever
+            # under churn soaks (same class as the PR-5 pending scrub).
+            self.store.forget_reader(cid)
         self.fault_log.append((self.sim.now, "crash", cid, 0))
         self._m_crash_events.labels(event="crash").inc()
 
@@ -959,6 +1044,7 @@ class NetworkedProtocolEngine:
                 c for c in provider.linked_collectors if c != cid
             )
         self._crashed.discard(cid)
+        self.store.forget_reader(cid)
         return providers, collector.behavior
 
     def adopt_collector(
@@ -1130,12 +1216,9 @@ class NetworkedProtocolEngine:
             # Pack against the canonical published tip.  A leader that
             # somehow lags (e.g. healed from a partition) must extend the
             # agreed chain, not its stale local copy; in a synchronous
-            # deployment the two coincide.
-            prev_hash = (
-                GENESIS_PREV_HASH
-                if self.store.height == 0
-                else self.store.retrieve(self.store.height).hash()
-            )
+            # deployment the two coincide.  ``tip_hash`` also covers a
+            # store anchored at a compacted checkpoint base.
+            prev_hash = self.store.tip_hash()
             block = Block(
                 serial=self.store.height + 1,
                 tx_list=tuple(records),

@@ -8,9 +8,13 @@ into :class:`~repro.network.simnet.SyncNetwork`.  The recovery
 machinery it exercises lives in ``repro.network.reliable`` (ack/
 retransmit channels), ``repro.network.broadcast`` (gap repair with
 sequencer failover), and ``repro.core.netengine`` (crash-recovery
-wiring).
+wiring).  :class:`DiskFaultPlan` extends the same seeded-fault idea to
+bytes at rest: it corrupts a durable ledger directory
+(:mod:`repro.storage`) so the restart-from-disk path is tested
+adversarially too.
 """
 
+from repro.faults.disk import DISK_FAULT_KINDS, AppliedDiskFault, DiskFaultPlan
 from repro.faults.injector import FaultInjectionStats, FaultInjector
 from repro.faults.plan import (
     FaultAction,
@@ -21,6 +25,9 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "DISK_FAULT_KINDS",
+    "AppliedDiskFault",
+    "DiskFaultPlan",
     "FaultAction",
     "FaultInjectionStats",
     "FaultInjector",

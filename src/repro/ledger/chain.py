@@ -24,6 +24,7 @@ from repro.exceptions import (
     AgreementError,
     BlockNotFoundError,
     ChainIntegrityError,
+    LedgerError,
     SkippedBlockError,
 )
 from repro.ledger.block import GENESIS_PREV_HASH, Block
@@ -39,6 +40,28 @@ class Ledger:
     owner: str = "replica"
     _blocks: list[Block] = field(default_factory=list)
     _tx_index: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: Checkpoint base: serials ``<= _base_serial`` are compacted away
+    #: and vouched for by a durable Merkle checkpoint (repro.storage).
+    _base_serial: int = 0
+    _base_hash: bytes = GENESIS_PREV_HASH
+
+    @classmethod
+    def from_checkpoint(cls, owner: str, serial: int, tip_hash: bytes) -> "Ledger":
+        """A replica anchored at a checkpoint instead of genesis.
+
+        Used after restart-from-disk when segments below the checkpoint
+        were compacted: the replica resumes appending at
+        ``serial + 1`` against ``tip_hash`` without holding the prefix.
+
+        Raises:
+            LedgerError: malformed anchor.
+        """
+        if serial < 1 or len(tip_hash) != 32:
+            raise LedgerError(f"{owner}: malformed checkpoint anchor (serial {serial})")
+        ledger = cls(owner=owner)
+        ledger._base_serial = serial
+        ledger._base_hash = tip_hash
+        return ledger
 
     # -- writes --------------------------------------------------------
 
@@ -70,23 +93,34 @@ class Ledger:
     @property
     def height(self) -> int:
         """Serial number of the tip (0 when empty)."""
-        return len(self._blocks)
+        return self._base_serial + len(self._blocks)
+
+    @property
+    def base_serial(self) -> int:
+        """Serial this replica is anchored at (0 = genesis)."""
+        return self._base_serial
 
     def tip_hash(self) -> bytes:
         """Hash the next block must reference."""
-        return GENESIS_PREV_HASH if not self._blocks else self._blocks[-1].hash()
+        return self._base_hash if not self._blocks else self._blocks[-1].hash()
 
     def retrieve(self, serial: int) -> Block:
         """The paper's ``retrieve(s)``.
 
         Raises:
-            BlockNotFoundError: serial not yet on this replica.
+            BlockNotFoundError: serial not on this replica (unpublished,
+                or compacted below the checkpoint base).
         """
-        if not 1 <= serial <= self.height:
+        if 1 <= serial <= self._base_serial:
+            raise BlockNotFoundError(
+                f"{self.owner}: serial {serial} compacted below checkpoint "
+                f"base {self._base_serial}"
+            )
+        if not self._base_serial < serial <= self.height:
             raise BlockNotFoundError(
                 f"{self.owner}: no block with serial {serial} (height {self.height})"
             )
-        return self._blocks[serial - 1]
+        return self._blocks[serial - self._base_serial - 1]
 
     def blocks(self) -> Iterator[Block]:
         """Iterate blocks in serial order."""
@@ -97,7 +131,7 @@ class Ledger:
         loc = self._tx_index.get(tx_id)
         if loc is None:
             return None
-        block = self._blocks[loc[0] - 1]
+        block = self._blocks[loc[0] - self._base_serial - 1]
         return block, block.tx_list[loc[1]]
 
     def all_records(self) -> Iterator[tuple[int, TxRecord]]:
@@ -107,13 +141,16 @@ class Ledger:
                 yield block.serial, rec
 
     def verify_integrity(self) -> None:
-        """Re-validate the whole chain (serials + hash links) from genesis.
+        """Re-validate the held chain (serials + hash links) from its base.
+
+        For an unanchored replica this is the full genesis check; an
+        anchored one verifies from the checkpoint hash instead.
 
         Raises:
             SkippedBlockError / ChainIntegrityError: on corruption.
         """
-        prev = GENESIS_PREV_HASH
-        for idx, block in enumerate(self._blocks, start=1):
+        prev = self._base_hash
+        for idx, block in enumerate(self._blocks, start=self._base_serial + 1):
             if block.serial != idx:
                 raise SkippedBlockError(
                     f"{self.owner}: serial {block.serial} at position {idx}"
@@ -130,7 +167,9 @@ def check_agreement(replicas: Iterable[Ledger]) -> None:
 
     Compares block hashes up to the shortest height among the replicas
     (a replica that is merely *behind* does not violate agreement in a
-    synchronous run still in progress).
+    synchronous run still in progress).  Serials compacted below any
+    replica's checkpoint base cannot be compared block-by-block; their
+    equality is vouched for by the checkpoint Merkle root instead.
 
     Raises:
         AgreementError: two replicas retrieved different blocks for one s.
@@ -139,8 +178,9 @@ def check_agreement(replicas: Iterable[Ledger]) -> None:
     if len(ledgers) < 2:
         return
     common = min(ledger.height for ledger in ledgers)
+    start = max(ledger.base_serial for ledger in ledgers) + 1
     reference = ledgers[0]
-    for serial in range(1, common + 1):
+    for serial in range(start, common + 1):
         want = reference.retrieve(serial).hash()
         for other in ledgers[1:]:
             got = other.retrieve(serial).hash()

@@ -1,0 +1,232 @@
+"""A BlockStore that persists every published block to a segment log.
+
+``DurableBlockStore`` is a drop-in :class:`~repro.ledger.store.BlockStore`:
+the engine publishes and readers cursor through it exactly as before,
+but each append is also framed, CRC'd and fsynced into the segment log,
+and every ``checkpoint_interval`` blocks a Merkle checkpoint is written
+and (optionally) older segments are compacted away.
+
+Construction goes through :func:`open_durable_store`, which first runs
+the :mod:`repro.storage.recovery` state machine against the directory,
+truncates whatever it rejected, re-anchors the in-memory store at the
+recovered base, and replays the verified blocks — so "open the store"
+and "recover from crash" are the same operation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.crypto.merkle import EMPTY_ROOT
+from repro.exceptions import LedgerError
+from repro.ledger.codec import encode_block
+from repro.ledger.store import BlockStore
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+from repro.storage.checkpoints import (
+    CHECKPOINT_RETAIN,
+    Checkpoint,
+    write_checkpoint,
+)
+from repro.storage.recovery import RecoveryReport, apply_truncation, recover
+from repro.storage.segments import SegmentLog
+
+__all__ = [
+    "DurableBlockStore",
+    "StorageConfig",
+    "open_durable_store",
+    "storage_metrics",
+]
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Knobs for a durable ledger directory.
+
+    ``checkpoint_interval=0`` disables checkpoints (and hence
+    compaction): recovery then always replays from genesis.
+    """
+
+    directory: str | Path
+    checkpoint_interval: int = 8
+    segment_bytes: int = 1 << 20
+    fsync: bool = True
+    compact: bool = True
+    retain_checkpoints: int = CHECKPOINT_RETAIN
+
+
+def storage_metrics(registry: MetricsRegistry) -> dict[str, object]:
+    """Register (or fetch) the ``storage_*`` metric family.
+
+    Shared by the engine (which registers unconditionally so the
+    telemetry inventory is stable) and the durable store itself.
+    """
+    return {
+        "records": registry.counter(
+            "storage_records_appended_total",
+            "Block records appended to the segment log",
+        ),
+        "segments": registry.counter(
+            "storage_segments_total",
+            "Segment files created (rolls) beyond the initial one",
+        ),
+        "bytes": registry.counter(
+            "storage_bytes_written_total",
+            "Bytes of framed records written to segments",
+        ),
+        "checkpoints": registry.counter(
+            "storage_checkpoints_total",
+            "Merkle checkpoints written",
+        ),
+        "compacted": registry.counter(
+            "storage_compacted_segments_total",
+            "Sealed segment files deleted by checkpoint compaction",
+        ),
+        "corruptions": registry.counter(
+            "storage_corruptions_detected_total",
+            "On-disk defects detected during recovery, by kind",
+            labels=("kind",),
+        ),
+        "recovered": registry.counter(
+            "storage_recovered_blocks_total",
+            "Blocks restored after a restart, by source",
+            labels=("source",),
+        ),
+        "ckpt_age": registry.gauge(
+            "storage_checkpoint_age_blocks",
+            "Blocks committed since the last checkpoint",
+        ),
+        "replay_s": registry.gauge(
+            "storage_recovery_replay_seconds",
+            "Wall-clock duration of the last recovery replay",
+        ),
+    }
+
+
+class DurableBlockStore(BlockStore):
+    """BlockStore whose publishes survive SIGKILL."""
+
+    def __init__(
+        self,
+        config: StorageConfig,
+        *,
+        obs: MetricsRegistry | None = None,
+        book_digest_fn: Callable[[], bytes] | None = None,
+    ) -> None:
+        super().__init__()
+        self.config = config
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self.book_digest_fn = book_digest_fn
+        self._metrics = storage_metrics(self.obs)
+        self._log = SegmentLog(
+            config.directory,
+            segment_bytes=config.segment_bytes,
+            fsync=config.fsync,
+        )
+        self._prev_root = EMPTY_ROOT
+        self._window_start = 0
+        self._window: list[bytes] = []
+        self.last_checkpoint_serial = 0
+        self.recovery: RecoveryReport | None = None
+
+    # -- publishing ----------------------------------------------------
+
+    def publish(self, block) -> None:
+        """Publish and durably append ``block``.
+
+        The durable log is strictly sequential: out-of-order publishes
+        that the in-memory store would tolerate are rejected here, so
+        the on-disk chain always equals the in-memory one.
+        """
+        before = self.height
+        if block.serial <= before:
+            super().publish(block)  # idempotence / conflict detection
+            return
+        if block.serial != before + 1:
+            raise LedgerError(
+                f"durable store appends sequentially: got serial "
+                f"{block.serial}, expected {before + 1}"
+            )
+        super().publish(block)
+        payload = json.dumps(
+            encode_block(block), sort_keys=True, separators=(",", ":")
+        ).encode()
+        rolls_before = self._log.segments_created
+        written = self._log.append(block.serial, payload)
+        self._metrics["records"].inc()
+        self._metrics["bytes"].inc(written)
+        if self._log.segments_created > rolls_before:
+            self._metrics["segments"].inc(self._log.segments_created - rolls_before)
+        self._window.append(block.hash())
+        interval = self.config.checkpoint_interval
+        if interval > 0 and block.serial - self._window_start >= interval:
+            self._write_checkpoint()
+        self._metrics["ckpt_age"].set(self.height - self.last_checkpoint_serial)
+
+    def _write_checkpoint(self) -> None:
+        digest = self.book_digest_fn() if self.book_digest_fn is not None else b""
+        ckpt = Checkpoint(
+            serial=self.height,
+            tip_hash=self.tip_hash(),
+            book_digest=digest,
+            window_start=self._window_start,
+            window_hashes=tuple(self._window),
+            prev_root=self._prev_root,
+            root=Checkpoint.compute_root(self._prev_root, self._window),
+        )
+        write_checkpoint(
+            self.config.directory,
+            ckpt,
+            fsync=self.config.fsync,
+            retain=self.config.retain_checkpoints,
+        )
+        self._metrics["checkpoints"].inc()
+        self.last_checkpoint_serial = ckpt.serial
+        self._prev_root = ckpt.root
+        self._window_start = ckpt.serial
+        self._window = []
+        if self.config.compact:
+            removed = self._log.truncate_before(ckpt.serial)
+            if removed:
+                self._metrics["compacted"].inc(removed)
+
+    # -- recovery hand-off ---------------------------------------------
+
+    def _adopt_recovery(self, report: RecoveryReport) -> None:
+        """Load the verified chain a recovery pass produced."""
+        self.recovery = report
+        if report.base_serial > 0:
+            self.anchor(report.base_serial, report.base_hash)
+        for block in report.blocks:
+            BlockStore.publish(self, block)  # already on disk; memory only
+        self._prev_root = report.resume_prev_root
+        self._window_start = report.resume_window_start
+        self._window = list(report.resume_window)
+        self.last_checkpoint_serial = report.resume_window_start
+        for bad in report.corruptions:
+            self._metrics["corruptions"].labels(kind=bad.kind).inc()
+        if report.blocks:
+            self._metrics["recovered"].labels(source="disk").inc(len(report.blocks))
+        self._metrics["replay_s"].set(report.replay_seconds)
+        self._metrics["ckpt_age"].set(self.height - self.last_checkpoint_serial)
+
+
+def open_durable_store(
+    config: StorageConfig,
+    *,
+    obs: MetricsRegistry | None = None,
+    book_digest_fn: Callable[[], bytes] | None = None,
+) -> tuple[DurableBlockStore, RecoveryReport]:
+    """Recover ``config.directory`` and open a durable store on it.
+
+    Any bytes the recovery state machine rejected are physically
+    truncated before the store starts appending, so a restart never
+    extends a corrupt tail.
+    """
+    report = recover(config.directory)
+    apply_truncation(config.directory, report)
+    store = DurableBlockStore(config, obs=obs, book_digest_fn=book_digest_fn)
+    store._adopt_recovery(report)
+    return store, report

@@ -45,11 +45,15 @@ from repro.workloads.generator import (
 __all__ = [
     "Scenario",
     "SCENARIOS",
+    "DurableScenario",
+    "DURABLE_SCENARIOS",
     "ShardScenario",
     "SHARD_SCENARIOS",
     "scenario_names",
+    "durable_scenario_names",
     "shard_scenario_names",
     "build_engine",
+    "build_durable_engine",
     "build_shard_deployment",
 ]
 
@@ -240,9 +244,108 @@ SHARD_SCENARIOS: dict[str, ShardScenario] = {
 }
 
 
+@dataclass(frozen=True)
+class DurableScenario:
+    """A named durable-ledger preset for the networked engine.
+
+    Materialised by :func:`build_durable_engine`; the same preset run
+    with ``storage_dir=None`` is the in-memory control that durable runs
+    must match bit-for-bit (tip hash), which is what the kill-restart
+    chaos harness asserts.
+    """
+
+    name: str
+    description: str
+    l: int
+    n: int
+    m: int
+    r: int
+    params: ProtocolParams
+    rounds: int
+    batch: int
+    max_delay: float
+    checkpoint_interval: int
+    segment_bytes: int
+
+
+DURABLE_SCENARIOS: dict[str, DurableScenario] = {
+    s.name: s
+    for s in [
+        DurableScenario(
+            name="durable-smoke",
+            description="small networked run committing to a segment log",
+            l=8, n=4, m=3, r=2,
+            params=ProtocolParams(f=0.5, delta=0.2),
+            rounds=6, batch=8, max_delay=0.05,
+            checkpoint_interval=2, segment_bytes=4096,
+        ),
+        DurableScenario(
+            name="durable-soak",
+            description="longer durable run with frequent checkpoints",
+            l=12, n=6, m=3, r=3,
+            params=ProtocolParams(f=0.5, delta=0.2),
+            rounds=20, batch=12, max_delay=0.05,
+            checkpoint_interval=4, segment_bytes=8192,
+        ),
+    ]
+}
+
+
 def scenario_names() -> list[str]:
     """All registered scenario names."""
     return sorted(SCENARIOS)
+
+
+def durable_scenario_names() -> list[str]:
+    """All registered durable-scenario names."""
+    return sorted(DURABLE_SCENARIOS)
+
+
+def build_durable_engine(name: str, seed: int = 0, storage_dir=None):
+    """Materialise a named durable scenario on the networked engine.
+
+    With ``storage_dir`` set, the engine opens (and, on restart,
+    recovers) a :class:`~repro.storage.DurableBlockStore` in that
+    directory; with ``None`` it runs the identical configuration purely
+    in memory — the bit-identical control for recovery tests.
+
+    Returns:
+        ``(engine, workload, scenario)``; run it with
+        ``for _ in range(scenario.rounds):
+        engine.run_round(workload.take(scenario.batch))``.
+
+    Raises:
+        ConfigurationError: unknown scenario name.
+    """
+    # Imported here: the networked engine stack (and with it the storage
+    # package) is not needed by in-process scenario users.
+    from repro.core.netengine import NetworkedProtocolEngine
+    from repro.storage import StorageConfig
+
+    scenario = DURABLE_SCENARIOS.get(name)
+    if scenario is None:
+        raise ConfigurationError(
+            f"unknown durable scenario {name!r}; available: {durable_scenario_names()}"
+        )
+    topo = Topology.regular(l=scenario.l, n=scenario.n, m=scenario.m, r=scenario.r)
+    storage = (
+        StorageConfig(
+            directory=storage_dir,
+            checkpoint_interval=scenario.checkpoint_interval,
+            segment_bytes=scenario.segment_bytes,
+        )
+        if storage_dir is not None
+        else None
+    )
+    engine = NetworkedProtocolEngine(
+        topo,
+        scenario.params,
+        seed=seed,
+        max_delay=scenario.max_delay,
+        storage=storage,
+    )
+    workload = BernoulliWorkload(topo.providers, p_valid=0.8, seed=seed + 1)
+    return engine, workload, scenario
 
 
 def shard_scenario_names() -> list[str]:

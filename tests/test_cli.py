@@ -78,3 +78,51 @@ class TestScenarioCommand:
     def test_unknown_scenario_rejected(self):
         with pytest.raises(SystemExit):
             main(["scenario", "does-not-exist"])
+
+
+class TestDurableCommand:
+    def test_durable_run_then_recover(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger"
+        code = main([
+            "durable", "--preset", "durable-smoke", "--seed", "3",
+            "--dir", str(ledger), "--rounds", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "durable scenario: durable-smoke" in out
+        assert "auditor clean: True" in out
+        assert out.count("round ") >= 2
+
+        code = main(["recover", "--dir", str(ledger)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recovery:" in out
+        assert "tip:" in out
+
+    def test_durable_resume_appends(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger"
+        assert main([
+            "durable", "--preset", "durable-smoke", "--seed", "3",
+            "--dir", str(ledger), "--rounds", "2",
+        ]) == 0
+        first = capsys.readouterr().out
+        assert main([
+            "durable", "--preset", "durable-smoke", "--seed", "3",
+            "--dir", str(ledger), "--rounds", "1",
+        ]) == 0
+        second = capsys.readouterr().out
+
+        def height(text):
+            return int(text.rsplit("final height ", 1)[1].split()[0])
+
+        assert height(second) > height(first)
+
+    def test_recover_empty_dir_is_clean(self, tmp_path, capsys):
+        code = main(["recover", "--dir", str(tmp_path / "nothing")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(empty)" in out
+
+    def test_unknown_preset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["durable", "--preset", "nope", "--dir", "x"])

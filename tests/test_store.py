@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.crypto.signatures import SigningKey
-from repro.exceptions import AgreementError, BlockNotFoundError
+from repro.exceptions import AgreementError, BlockNotFoundError, LedgerError
 from repro.ledger.block import GENESIS_PREV_HASH, Block
 from repro.ledger.store import BlockStore
 from repro.ledger.transaction import CheckStatus, Label, TxRecord, make_signed_transaction
@@ -78,3 +78,90 @@ class TestCursors:
         assert store.next_for("r") is None
         store.publish(block(2))
         assert store.next_for("r").serial == 2
+
+
+class TestIncrementalHeight:
+    def test_height_tracks_max_serial(self):
+        store = BlockStore()
+        store.publish(block(1))
+        store.publish(block(3))
+        assert store.height == 3
+        store.publish(block(2))
+        assert store.height == 3
+
+    def test_republish_leaves_height_alone(self):
+        store = BlockStore()
+        b = block(2)
+        store.publish(b)
+        store.publish(b)
+        assert store.height == 2
+
+    def test_tip_hash_follows_latest(self):
+        store = BlockStore()
+        assert store.tip_hash() == GENESIS_PREV_HASH
+        b1 = block(1)
+        store.publish(b1)
+        assert store.tip_hash() == b1.hash()
+
+
+class TestForgetReader:
+    def test_forget_resets_cursor(self):
+        store = BlockStore()
+        store.publish(block(1))
+        store.publish(block(2))
+        assert store.next_for("r").serial == 1
+        store.forget_reader("r")
+        assert store.next_for("r").serial == 1
+        assert store.unread_count("r") == 1
+
+    def test_forget_unknown_reader_is_noop(self):
+        BlockStore().forget_reader("never-seen")
+
+
+class TestAnchoredStore:
+    TIP = b"\xaa" * 32
+
+    def anchored(self) -> BlockStore:
+        store = BlockStore()
+        store.anchor(serial=5, tip_hash=self.TIP)
+        return store
+
+    def test_anchor_sets_base_and_tip(self):
+        store = self.anchored()
+        assert store.height == 5
+        assert store.base_serial == 5
+        assert store.tip_hash() == self.TIP
+
+    def test_anchor_nonempty_rejected(self):
+        store = BlockStore()
+        store.publish(block(1))
+        with pytest.raises(LedgerError):
+            store.anchor(serial=1, tip_hash=self.TIP)
+
+    def test_anchor_malformed_rejected(self):
+        with pytest.raises(LedgerError):
+            BlockStore().anchor(serial=0, tip_hash=self.TIP)
+        with pytest.raises(LedgerError):
+            BlockStore().anchor(serial=1, tip_hash=b"short")
+
+    def test_publish_below_base_is_noop(self):
+        store = self.anchored()
+        store.publish(block(3))
+        assert store.height == 5
+        with pytest.raises(BlockNotFoundError, match="compacted"):
+            store.retrieve(3)
+
+    def test_publish_continues_above_base(self):
+        store = self.anchored()
+        b6 = block(6, prev=self.TIP)
+        store.publish(b6)
+        assert store.height == 6
+        assert store.tip_hash() == b6.hash()
+
+    def test_cursors_start_at_base(self):
+        store = self.anchored()
+        assert store.next_for("r") is None
+        b6 = block(6, prev=self.TIP)
+        store.publish(b6)
+        assert store.unread_count("r") == 1
+        assert store.next_for("r").serial == 6

@@ -85,3 +85,73 @@ class TestSyncReplica:
         store = BlockStore()
         publish_chain(store, 2)
         assert not verify_sync(Ledger(), store)
+
+
+class TestLocalCorruptionRecovery:
+    """Satellite: what a node does when its own replica is the bad one.
+
+    ``sync_replica`` refuses to extend a divergent replica; the operator
+    guidance (DESIGN.md §durability) is to discard it and rebuild from
+    genesis — or, when the peer's store is compacted, from the peer's
+    checkpoint base via ``Ledger.from_checkpoint``.
+    """
+
+    def _divergent_replica(self) -> Ledger:
+        replica = Ledger(owner="corrupt")
+        tx = make_signed_transaction(KEY, "evil", 1.0, nonce=next(_NONCE))
+        rec = TxRecord(tx=tx, label=Label.VALID, status=CheckStatus.CHECKED)
+        replica.append(
+            Block(serial=1, tx_list=(rec,), prev_hash=b"\x00" * 32,
+                  proposer="gX", round_number=1)
+        )
+        return replica
+
+    def test_corrupt_replica_never_partially_extended(self):
+        store = BlockStore()
+        publish_chain(store, 4)
+        replica = self._divergent_replica()
+        with pytest.raises(ChainIntegrityError):
+            sync_replica(replica, store)
+        # The failed sync must not have smuggled any peer blocks in.
+        assert replica.height == 1
+
+    def test_rebuild_from_genesis_recovers(self):
+        store = BlockStore()
+        publish_chain(store, 4)
+        replica = self._divergent_replica()
+        with pytest.raises(ChainIntegrityError):
+            sync_replica(replica, store)
+        # Guidance: throw the corrupt replica away, start fresh.
+        rebuilt = Ledger(owner="corrupt")
+        assert sync_replica(rebuilt, store) == 4
+        assert verify_sync(rebuilt, store)
+        rebuilt.verify_integrity()
+
+    def test_rebuild_from_checkpoint_base_when_peer_compacted(self):
+        store = BlockStore()
+        blocks = publish_chain(store, 6)
+        # A compacted peer can only serve serials above its base; the
+        # rebuilt replica must anchor at the matching checkpoint.
+        compacted = BlockStore()
+        compacted.anchor(serial=4, tip_hash=blocks[3].hash())
+        for b in blocks[4:]:
+            compacted.publish(b)
+        rebuilt = Ledger.from_checkpoint(
+            owner="corrupt", serial=4, tip_hash=blocks[3].hash()
+        )
+        assert sync_replica(rebuilt, compacted) == 2
+        assert rebuilt.height == 6
+        assert rebuilt.tip_hash() == blocks[-1].hash()
+        rebuilt.verify_integrity()
+
+    def test_mismatched_anchor_detected_not_absorbed(self):
+        store = BlockStore()
+        publish_chain(store, 5)
+        # Anchored on a tip hash the peer chain never produced: the very
+        # first pulled block fails to link.
+        rebuilt = Ledger.from_checkpoint(
+            owner="corrupt", serial=2, tip_hash=b"\x99" * 32
+        )
+        with pytest.raises(ChainIntegrityError):
+            sync_replica(rebuilt, store)
+        assert rebuilt.height == 2  # still only the bad anchor, nothing loaded
