@@ -131,6 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--seed", type=int, default=0)
     shard.add_argument("--rounds", type=int, default=None,
                        help="override the preset's super-round count")
+    shard.add_argument("--workers", type=int, default=None,
+                       help="run shard engines in this many worker "
+                            "processes (default: serial in-process; "
+                            "ledgers are bit-identical either way)")
 
     from repro.workloads.scenarios import durable_scenario_names
 
@@ -286,36 +290,28 @@ def _cmd_shard(args: argparse.Namespace) -> int:
     from repro.workloads.scenarios import build_shard_deployment
 
     coordinator, workload, scenario = build_shard_deployment(
-        args.preset, seed=args.seed
+        args.preset, seed=args.seed, workers=args.workers
     )
     rounds = args.rounds if args.rounds is not None else scenario.rounds
     print(f"shard scenario: {scenario.name} — {scenario.description}")
     print(f"topology: l={scenario.l} n={scenario.n} m={scenario.m} r={scenario.r} "
           f"across {scenario.shards} shards; p_cross={scenario.p_cross}, "
-          f"{rounds} super-rounds x {scenario.batch} tx")
+          f"{rounds} super-rounds x {scenario.batch} tx "
+          f"[{coordinator.backend.kind} backend]")
     for _ in range(rounds):
         coordinator.submit(workload.take(scenario.batch))
         coordinator.run_super_round()
     report = coordinator.finalize()
 
+    # Backend-neutral reporting: chain_stats works whether the engines
+    # are in-process or in worker processes.
     rows = []
     all_hold = True
-    for k, engine in enumerate(coordinator.engines):
-        origin = cross_out = receipts_in = 0
-        for serial in range(1, engine.store.height + 1):
-            for record in engine.store.retrieve(serial).tx_list:
-                payload = record.tx.body.payload
-                if isinstance(payload, dict) and "xshard_receipt" in payload:
-                    receipts_in += 1
-                    continue
-                origin += 1
-                if isinstance(payload, dict) and "xshard_to" in payload:
-                    cross_out += 1
-        mass = sum(engine.collector_masses().values())
-        rows.append((k, engine.store.height, origin, cross_out, receipts_in,
-                     f"{mass:.3f}"))
-        props = check_all_properties(engine.ledgers(), engine.transcript)
-        all_hold = all_hold and props.all_hold
+    for stats in coordinator.chain_stats():
+        rows.append((stats.shard, stats.height, stats.origin, stats.cross_out,
+                     stats.receipts_in, f"{stats.reputation_mass:.3f}"))
+        all_hold = all_hold and stats.properties_hold
+    coordinator.close()
     print(format_table(
         ["shard", "height", "committed", "cross-out", "cross-in", "rep mass"],
         rows,

@@ -593,6 +593,52 @@ class NetworkedProtocolEngine:
         )
         register(relay_id, lambda message: None)
 
+    def inject_receipts(self, receipts: Sequence) -> None:
+        """Fan relayed cross-shard receipts out to every governor.
+
+        The barrier-time injection point of the shard executors: a
+        :class:`~repro.parallel.SerialBackend` calls it directly and a
+        :class:`~repro.parallel.ParallelBackend` worker calls it when a
+        pickled relay batch arrives over its command pipe.  Receipts are
+        sent from the relay endpoint to the **full** governor set (so a
+        relay survives any single governor crash) in batch order —
+        latency draws consume this engine's network RNG in exactly the
+        order the serial coordinator's per-receipt relays would, which
+        is what keeps parallel ledgers bit-identical to serial ones.
+        """
+        if self._xshard_relay is None:
+            raise ConfigurationError("cross-shard relay not enabled on this engine")
+        for receipt in receipts:
+            for gid in self.topology.governors:
+                self.network.send(self._xshard_relay, gid, receipt)
+
+    def carryover_depth(self) -> int:
+        """Records queued for re-evaluation (argue outcomes) next round.
+
+        Part of the phase-command surface: shard drivers budget each
+        round's fresh specs as ``b_limit - carryover_depth()`` so the
+        re-packed records never push a block past the universal bound.
+        """
+        return len(self._reevaluated_queue)
+
+    def recovery_lagging(self) -> bool:
+        """True while unrepaired broadcast gaps remain (resilience only).
+
+        One probe of the :meth:`drain_recovery` exit condition, with the
+        same repair-triggering side effect (a scan NACKs every lagging
+        member).  Shard drivers call it between barrier-synchronized
+        drain slices so every backend walks the end-of-run recovery
+        drain through identical clock targets — keeping the final
+        simulated clock, and hence reported sim-time throughput,
+        identical between serial and multi-process execution.
+        """
+        if not self.resilience:
+            return False
+        return (
+            self.broadcast.force_repair_scan() != 0
+            or self.broadcast.pending_gap_total() != 0
+        )
+
     def _ingest_receipt(self, gid: str, receipt) -> None:
         """Buffer a relayed receipt at ``gid`` for the next pack, deduped.
 
@@ -1347,13 +1393,17 @@ class NetworkedProtocolEngine:
             self.sim.run(until=self.sim.now + grace / cycles)
         self.obs.record_span("drain_recovery", drain_start, self.sim.now)
 
-    def finalize(self) -> None:
+    def finalize(self, drain: bool = True) -> None:
         """Reveal all pending unchecked truths (closes the loss books).
 
         Under resilience, first drains outstanding recovery traffic so
-        no repairable gap survives the run.
+        no repairable gap survives the run.  Pass ``drain=False`` when a
+        shard driver has already walked the recovery drain through
+        barrier-synchronized clock targets (:meth:`recovery_lagging`) —
+        an engine-local drain here would advance the clock off-barrier.
         """
-        self.drain_recovery()
+        if drain:
+            self.drain_recovery()
         for governor in self.governors.values():
             for tx_id in list(governor._pending_unchecked):
                 governor.reveal_truth(tx_id, self.oracle)

@@ -82,6 +82,56 @@ class SynchronyViolationError(NetworkError):
     """A message delay exceeded the known synchrony bound Delta."""
 
 
+class ParallelExecutionError(SimulationError):
+    """Base class for failures of the multi-process shard executor."""
+
+
+class WorkerCrashError(ParallelExecutionError):
+    """A shard worker process died (or hung past the barrier timeout).
+
+    Raised by the parallel backend instead of blocking forever on a
+    phase barrier: a SIGKILLed worker surfaces as a *detected* fault —
+    the same contract :class:`repro.faults.injector.FaultInjector` gives
+    in-process crashes — carrying the phase that was in flight, the
+    worker index, and the shards it hosted.
+    """
+
+    def __init__(
+        self,
+        worker: int,
+        shards: tuple[int, ...],
+        phase: str,
+        detail: str = "",
+        exitcode: int | None = None,
+    ):
+        self.worker = worker
+        self.shards = shards
+        self.phase = phase
+        self.exitcode = exitcode
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"worker {worker} hosting shards {list(shards)} failed during "
+            f"phase {phase!r} (exitcode={exitcode}){suffix}"
+        )
+
+
+class WorkerOpError(ParallelExecutionError):
+    """A command raised inside a worker process; re-raised at the driver.
+
+    Carries the remote exception type name and traceback text so the
+    driver-side stack shows what actually failed in the worker.
+    """
+
+    def __init__(self, worker: int, phase: str, exc_type: str, detail: str, remote_traceback: str = ""):
+        self.worker = worker
+        self.phase = phase
+        self.exc_type = exc_type
+        self.remote_traceback = remote_traceback
+        super().__init__(
+            f"worker {worker} raised {exc_type} during phase {phase!r}: {detail}"
+        )
+
+
 class ConsensusError(ReproError):
     """Base class for consensus-layer failures."""
 

@@ -1,0 +1,42 @@
+"""Multi-core shard execution: pluggable backends for the shard driver.
+
+The :class:`~repro.sharding.ShardCoordinator` drives its shard engines
+through a narrow :class:`ShardExecutionBackend` protocol with two
+implementations:
+
+* :class:`SerialBackend` — every engine in-process on one shared
+  simulator (the original coordinator execution model, bit-for-bit);
+* :class:`ParallelBackend` — one engine per shard in spawned worker
+  processes, synchronized at the ``begin_round`` / ``begin_argue`` /
+  ``complete_round`` phase barriers, receipts batched over pipes.
+
+Both produce bit-identical ledgers for the same seed; the parallel
+backend turns E14's sim-time shard scaling into *wall-clock* scaling
+on multi-core hosts (benchmark E16).
+"""
+
+from repro.parallel.backend import (
+    SerialBackend,
+    ShardChainStats,
+    ShardExecutionBackend,
+    ShardRoundInfo,
+    ShardScan,
+    build_shard_engine,
+    scan_shard_commits,
+)
+from repro.parallel.pool import ParallelBackend, parallel_metrics
+from repro.parallel.worker import WorkerInit, worker_main
+
+__all__ = [
+    "ShardExecutionBackend",
+    "SerialBackend",
+    "ParallelBackend",
+    "ShardRoundInfo",
+    "ShardScan",
+    "ShardChainStats",
+    "WorkerInit",
+    "worker_main",
+    "build_shard_engine",
+    "scan_shard_commits",
+    "parallel_metrics",
+]

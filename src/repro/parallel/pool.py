@@ -1,0 +1,475 @@
+"""Process-pool shard execution: spawned workers behind phase barriers.
+
+:class:`ParallelBackend` implements
+:class:`~repro.parallel.backend.ShardExecutionBackend` by hosting the
+``S`` shard engines in ``N`` spawned worker processes (shards assigned
+round-robin, so ``N`` may be smaller than ``S``).  Every phase of the
+super-round is one broadcast of pickled ``(op, payload)`` commands —
+one message per worker, receipts and specs batched inside it — followed
+by a barrier collect of the replies.
+
+**Crash handling.**  A worker that dies (SIGKILL, OOM, bug) or hangs
+past the per-phase barrier timeout surfaces as a structured
+:class:`~repro.exceptions.WorkerCrashError` carrying the worker index,
+its hosted shards, and the in-flight phase — a *detected* fault, the
+same contract the in-process :class:`~repro.faults.FaultInjector` gives
+for simulated crashes, never a hung barrier.  With durable storage
+configured, :meth:`restart_worker` respawns the replacement from the
+same :class:`~repro.parallel.worker.WorkerInit`; its engines re-anchor
+from their on-disk checkpoints (crash semantics: the continuation is
+correct but not bit-identical, and installed fault plans are not
+re-applied).
+
+**Determinism.**  Workers advance private simulator clocks to the exact
+barrier targets the serial backend would use, and the driver preserves
+per-remote-shard receipt-relay order inside each batch, so a parallel
+run's ledgers are bit-identical to a serial run with the same seed (the
+full argument lives in :mod:`repro.parallel.backend`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import time
+from typing import Mapping, Sequence
+
+from repro.exceptions import (
+    ConfigurationError,
+    WorkerCrashError,
+    WorkerOpError,
+)
+from repro.network.topology import ShardedTopology
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.parallel.backend import ShardChainStats, ShardRoundInfo, ShardScan
+from repro.parallel.worker import WorkerInit, worker_main
+from repro.workloads.generator import TxSpec
+
+__all__ = ["ParallelBackend", "parallel_metrics"]
+
+#: Extra slack over the phase timeout for worker construction — spawning
+#: an interpreter and replaying a durable store takes longer than a phase.
+_READY_TIMEOUT_FLOOR = 120.0
+
+
+def parallel_metrics(obs: MetricsRegistry) -> dict[str, object]:
+    """Fetch-or-register the ``par_*`` metric family on ``obs``.
+
+    Called by the coordinator for every backend (so the metrics appear —
+    at zero — in serial runs too, keeping OBSERVABILITY.md coverage
+    honest) and by :class:`ParallelBackend` to obtain the same
+    instances.
+    """
+    return {
+        "barrier_wait": obs.histogram(
+            "par_barrier_wait_seconds",
+            "Wall-clock barrier skew per phase: slowest minus fastest worker reply",
+            buckets=(0.0005, 0.002, 0.01, 0.05, 0.2, 1.0, 5.0),
+        ),
+        "worker_round": obs.histogram(
+            "par_worker_round_seconds",
+            "Worker-side wall-clock compute per super-round, by worker",
+            labels=("worker",),
+            buckets=(0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0),
+        ),
+        "ipc_msgs": obs.counter(
+            "par_ipc_msgs_total",
+            "Pipe messages between driver and workers, by direction",
+            labels=("direction",),
+        ),
+        "ipc_bytes": obs.counter(
+            "par_ipc_bytes_total",
+            "Pickled payload bytes between driver and workers, by direction",
+            labels=("direction",),
+        ),
+        "crashes": obs.counter(
+            "par_worker_crashes_total",
+            "Worker processes detected dead or hung at a phase barrier, by phase",
+            labels=("phase",),
+        ),
+        "restarts": obs.counter(
+            "par_worker_restarts_total",
+            "Worker processes respawned from durable checkpoints after a crash",
+        ),
+    }
+
+
+class _WorkerHandle:
+    """Driver-side state of one spawned worker."""
+
+    __slots__ = ("index", "shards", "init", "proc", "conn", "alive", "seq")
+
+    def __init__(self, index: int, shards: tuple[int, ...], init: WorkerInit):
+        self.index = index
+        self.shards = shards
+        self.init = init
+        self.proc = None
+        self.conn = None
+        self.alive = False
+        #: Last command sequence number sent; replies echo it, so stale
+        #: replies left over from a crash-aborted phase are discardable.
+        self.seq = 0
+
+
+class ParallelBackend:
+    """Run shard engines in spawned worker processes with barrier sync."""
+
+    kind = "parallel"
+
+    def __init__(
+        self,
+        topology: ShardedTopology,
+        params,
+        behaviors: Mapping[str, object] | None = None,
+        seed: int = 0,
+        min_delay: float = 0.005,
+        max_delay: float = 0.05,
+        resilience: bool = False,
+        obs: MetricsRegistry | None = None,
+        audit=None,
+        storage: Sequence[object | None] | None = None,
+        workers: int = 2,
+        phase_timeout: float = 60.0,
+    ):
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.topology = topology
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self.phase_timeout = phase_timeout
+        self._metrics = parallel_metrics(self.obs)
+        self._now = 0.0
+        self._storage = (
+            list(storage) if storage is not None else [None] * topology.num_shards
+        )
+        behaviors = dict(behaviors or {})
+        try:
+            pickle.dumps(behaviors, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise ConfigurationError(
+                "collector behaviours must be picklable to cross the worker "
+                f"process boundary (workers={workers}): {exc}"
+            ) from exc
+        num_workers = min(workers, topology.num_shards)
+        #: shard index -> hosting worker index (round-robin).
+        self.worker_for_shard = {
+            k: k % num_workers for k in range(topology.num_shards)
+        }
+        self._ctx = mp.get_context("spawn")
+        self._workers: list[_WorkerHandle] = []
+        for w in range(num_workers):
+            shards = tuple(
+                k for k in range(topology.num_shards)
+                if self.worker_for_shard[k] == w
+            )
+            init = WorkerInit(
+                worker=w,
+                shards=shards,
+                topologies=tuple(topology.shards[k] for k in shards),
+                params=params,
+                behaviors=behaviors,
+                seed=seed,
+                min_delay=min_delay,
+                max_delay=max_delay,
+                resilience=resilience,
+                audit=audit,
+                provider_shard=dict(topology.provider_shard),
+                storage=tuple(self._storage[k] for k in shards),
+            )
+            self._workers.append(_WorkerHandle(w, shards, init))
+        # Per-worker accumulated compute seconds this super-round.
+        self._round_wall = [0.0] * num_workers
+        for handle in self._workers:
+            self._spawn(handle)
+
+    # -- process lifecycle -------------------------------------------------
+
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        parent, child = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(child, handle.init),
+            name=f"shard-worker-{handle.index}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        handle.proc = proc
+        handle.conn = parent
+        handle.alive = True
+        handle.seq = 0  # fresh process, fresh sequence space
+        ready_timeout = max(self.phase_timeout, _READY_TIMEOUT_FLOOR)
+        reply = self._recv(handle, "spawn", timeout=ready_timeout)
+        if reply[1] != "ready":  # pragma: no cover - defensive
+            raise WorkerCrashError(
+                handle.index, handle.shards, "spawn",
+                detail=f"unexpected ready reply {reply[1]!r}",
+            )
+
+    def restart_worker(self, worker: int) -> None:
+        """Kill (if needed) and respawn one worker from durable storage.
+
+        The replacement rebuilds its engines from the same
+        :class:`WorkerInit`; with a :class:`~repro.storage.StorageConfig`
+        per hosted shard the engines re-anchor to their checkpointed
+        chains and resume committing.  Without storage there is nothing
+        to hand off, so the restart is refused.  Installed fault plans
+        are **not** re-applied to the replacement.
+        """
+        handle = self._workers[worker]
+        missing = [k for k in handle.shards if self._storage[k] is None]
+        if missing:
+            raise ConfigurationError(
+                f"cannot restart worker {worker}: shards {missing} have no "
+                "durable storage to hand off from"
+            )
+        if handle.proc is not None:
+            handle.proc.terminate()
+            handle.proc.join(timeout=10.0)
+        if handle.conn is not None:
+            handle.conn.close()
+        handle.alive = False
+        self._spawn(handle)
+        self._metrics["restarts"].inc()
+
+    def close(self) -> None:
+        """Shut every worker down; terminate stragglers."""
+        for handle in self._workers:
+            if not handle.alive:
+                continue
+            try:
+                self._send(handle, "shutdown", None)
+                self._recv(handle, "shutdown", timeout=5.0)
+            except Exception:
+                pass
+            handle.alive = False
+        for handle in self._workers:
+            if handle.proc is not None:
+                handle.proc.join(timeout=5.0)
+                if handle.proc.is_alive():
+                    handle.proc.terminate()
+                    handle.proc.join(timeout=5.0)
+            if handle.conn is not None:
+                handle.conn.close()
+
+    # -- pipe plumbing -----------------------------------------------------
+
+    def _send(self, handle: _WorkerHandle, op: str, payload) -> None:
+        handle.seq += 1
+        blob = pickle.dumps(
+            (handle.seq, op, payload), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        try:
+            handle.conn.send_bytes(blob)
+        except (BrokenPipeError, OSError) as exc:
+            self._crash(handle, op, str(exc))
+        self._metrics["ipc_msgs"].labels(direction="send").inc()
+        self._metrics["ipc_bytes"].labels(direction="send").inc(len(blob))
+
+    def _recv(self, handle: _WorkerHandle, phase: str, timeout: float | None = None):
+        timeout = self.phase_timeout if timeout is None else timeout
+        while True:
+            try:
+                if not handle.conn.poll(timeout):
+                    self._crash(
+                        handle, phase,
+                        f"no reply within {timeout:.0f}s barrier timeout",
+                    )
+                blob = handle.conn.recv_bytes()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                self._crash(handle, phase, str(exc) or type(exc).__name__)
+            self._metrics["ipc_msgs"].labels(direction="recv").inc()
+            self._metrics["ipc_bytes"].labels(direction="recv").inc(len(blob))
+            reply = pickle.loads(blob)
+            if reply[0] == handle.seq:
+                break
+            # A reply to an older command: the phase it answered was
+            # aborted by a sibling worker's crash before this worker's
+            # reply was collected.  Skip it and keep waiting for ours.
+        if reply[1] == "err":
+            _, _, exc_type, message, tb = reply
+            raise WorkerOpError(handle.index, phase, exc_type, message, tb)
+        return reply[1:]
+
+    def _crash(self, handle: _WorkerHandle, phase: str, detail: str):
+        """Mark a worker dead and raise the structured crash fault."""
+        handle.alive = False
+        exitcode = handle.proc.exitcode if handle.proc is not None else None
+        if handle.proc is not None and handle.proc.is_alive():
+            # Hung past the barrier: SIGKILL reaps it even if the
+            # process is wedged or stopped, so the driver never blocks.
+            handle.proc.kill()
+            handle.proc.join(timeout=5.0)
+            exitcode = handle.proc.exitcode
+        self._metrics["crashes"].labels(phase=phase).inc()
+        raise WorkerCrashError(
+            handle.index, handle.shards, phase, detail=detail, exitcode=exitcode
+        )
+
+    def _call(self, op: str, payloads: Mapping[int, object], phase: str | None = None):
+        """Broadcast one op to the given workers, collect at the barrier.
+
+        Sends every command before reading any reply — workers compute
+        concurrently — then drains replies in worker order, recording
+        arrival skew (barrier wait) and per-worker compute seconds.
+        Returns ``{worker_index: result}``.
+        """
+        phase = phase or op
+        handles = [self._workers[w] for w in payloads]
+        for handle in handles:
+            if not handle.alive:
+                raise WorkerCrashError(
+                    handle.index, handle.shards, phase, detail="worker already dead"
+                )
+            self._send(handle, op, payloads[handle.index])
+        results: dict[int, object] = {}
+        arrivals: list[float] = []
+        for handle in handles:
+            _, result, wall = self._recv(handle, phase)
+            arrivals.append(time.perf_counter())
+            self._round_wall[handle.index] += wall
+            results[handle.index] = result
+        if len(arrivals) > 1:
+            self._metrics["barrier_wait"].observe(max(arrivals) - min(arrivals))
+        return results
+
+    def _call_all(self, op: str, payload=None, phase: str | None = None):
+        return self._call(
+            op, {h.index: payload for h in self._workers}, phase=phase
+        )
+
+    def _by_shard(self, results: Mapping[int, dict]) -> dict:
+        """Merge per-worker ``{shard: value}`` replies into one dict."""
+        merged: dict = {}
+        for part in results.values():
+            merged.update(part)
+        return merged
+
+    # -- ShardExecutionBackend ---------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return self.topology.num_shards
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    def carryover(self) -> list[int]:
+        merged = self._by_shard(self._call_all("carryover"))
+        return [merged[k] for k in range(self.num_shards)]
+
+    def begin_round(self, specs: Sequence[Sequence[TxSpec]]) -> list[float]:
+        payloads: dict[int, dict[int, list]] = {h.index: {} for h in self._workers}
+        for k, batch in enumerate(specs):
+            payloads[self.worker_for_shard[k]][k] = list(batch)
+        merged = self._by_shard(self._call("begin_round", payloads))
+        return [merged[k] for k in range(self.num_shards)]
+
+    def run_until(self, until: float) -> None:
+        self._call_all("run_until", until)
+        self._now = until
+
+    def begin_argue(self) -> list[float]:
+        merged = self._by_shard(self._call_all("begin_argue"))
+        return [merged[k] for k in range(self.num_shards)]
+
+    def complete_round(self) -> list[ShardRoundInfo]:
+        merged = self._by_shard(self._call_all("complete_round"))
+        for w, handle in enumerate(self._workers):
+            self._metrics["worker_round"].labels(worker=str(w)).observe(
+                self._round_wall[w]
+            )
+            self._round_wall[w] = 0.0
+        return [
+            ShardRoundInfo(
+                shard=k,
+                round_number=merged[k][0],
+                leader=merged[k][1],
+                block_serial=merged[k][2],
+                block_size=merged[k][3],
+                argues_sent=merged[k][4],
+                carryover=merged[k][5],
+            )
+            for k in range(self.num_shards)
+        ]
+
+    def scan_commits(self, cursors: Sequence[int]) -> list[ShardScan]:
+        payloads: dict[int, dict[int, int]] = {h.index: {} for h in self._workers}
+        for k, cursor in enumerate(cursors):
+            payloads[self.worker_for_shard[k]][k] = cursor
+        merged = self._by_shard(self._call("scan", payloads, phase="scan"))
+        return [merged[k] for k in range(self.num_shards)]
+
+    def relay(self, batches: Mapping[int, Sequence]) -> None:
+        # Satellite: one message per (driver, worker) pair per phase —
+        # all receipts bound for a worker's shards travel together, in
+        # per-shard relay order (the order the remote network draws
+        # latencies in, hence part of the determinism contract).
+        payloads: dict[int, dict[int, list]] = {}
+        for shard, receipts in batches.items():
+            if not receipts:
+                continue
+            worker = self.worker_for_shard[shard]
+            payloads.setdefault(worker, {})[shard] = list(receipts)
+        if payloads:
+            self._call("relay", payloads)
+
+    def repair_scan(self, shard: int) -> bool:
+        worker = self.worker_for_shard[shard]
+        return self._call("repair_scan", {worker: shard})[worker]
+
+    def collector_masses(self) -> dict[str, float]:
+        masses: dict[str, float] = {}
+        for part in self._call_all("masses").values():
+            masses.update(part)
+        return masses
+
+    def release_collectors(
+        self, by_shard: Mapping[int, Sequence[str]]
+    ) -> dict[str, tuple]:
+        payloads: dict[int, dict[int, list]] = {}
+        for shard, cids in by_shard.items():
+            worker = self.worker_for_shard[shard]
+            payloads.setdefault(worker, {})[shard] = list(cids)
+        released: dict[str, tuple] = {}
+        if payloads:
+            for part in self._call("release", payloads, phase="release").values():
+                released.update(part)
+        return released
+
+    def adopt_collectors(
+        self, assignments: Sequence[tuple[int, str, tuple[str, ...], object]]
+    ) -> None:
+        payloads: dict[int, list] = {}
+        for shard, cid, slots, behavior in assignments:
+            worker = self.worker_for_shard[shard]
+            payloads.setdefault(worker, []).append((shard, cid, slots, behavior))
+        if payloads:
+            self._call("adopt", payloads, phase="adopt")
+
+    def install_faults(self, shard: int, plan, tamperer=None):
+        if tamperer is not None:
+            raise ConfigurationError(
+                "message tamperers hold live callbacks and cannot cross the "
+                "worker process boundary; run Byzantine tampering on the "
+                "serial backend"
+            )
+        worker = self.worker_for_shard[shard]
+        self._call(
+            "install_faults", {worker: (shard, plan)}, phase="install_faults"
+        )
+        return None  # the injector lives (and stays) worker-side
+
+    def tip_hashes(self) -> list[str]:
+        merged = self._by_shard(self._call_all("tips"))
+        return [merged[k] for k in range(self.num_shards)]
+
+    def chain_stats(self) -> list[ShardChainStats]:
+        merged = self._by_shard(self._call_all("chain_stats"))
+        return [merged[k] for k in range(self.num_shards)]
+
+    def finalize_engines(self) -> None:
+        self._call_all("finalize")
+
+    def now(self) -> float:
+        return self._now

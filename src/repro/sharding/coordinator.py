@@ -1,34 +1,45 @@
-"""The shard coordinator: S protocol engines on one simulated clock.
+"""The shard coordinator: the driver half of sharded execution.
 
-:class:`ShardCoordinator` owns a single
-:class:`~repro.network.simnet.Simulator` and runs one
-:class:`~repro.core.netengine.NetworkedProtocolEngine` per shard of a
-:class:`~repro.network.topology.ShardedTopology` on it.  Each engine
-keeps its own network, broadcast fabric, identity manager, and ledger
-family — shards are sovereign committees; only the clock, the workload
-router, and the receipt relay connect them.
+:class:`ShardCoordinator` routes workload, mints/relays cross-shard
+receipts, audits atomicity, and reshuffles collectors by reputation
+mass — while the actual protocol engines run behind a pluggable
+:class:`~repro.parallel.ShardExecutionBackend`:
+
+* the **serial** backend (default, ``workers=None`` or ``1``) hosts all
+  ``S`` engines in-process on one shared
+  :class:`~repro.network.simnet.Simulator` — the original coordinator
+  execution model, bit for bit;
+* the **parallel** backend (``workers >= 2``) hosts each shard's engine
+  in a spawned worker process with deterministic barrier sync at the
+  phase boundaries (:mod:`repro.parallel`), turning sim-time shard
+  scaling into *wall-clock* scaling on multi-core hosts.
+
+Both backends produce **bit-identical ledgers** for the same seed: the
+driver issues the same phase targets, preserves per-remote-shard
+receipt-relay order, and performs reshuffle release/adopt calls in the
+same per-engine order regardless of where the engines live.
 
 **Super-rounds.**  A super-round starts round ``t`` on *every* shard
 (:meth:`~repro.core.netengine.NetworkedProtocolEngine.begin_round`),
-drains the shared simulator once so all shards' packet traffic
-interleaves in one timeline, runs every argue phase, drains again, and
-closes all rounds.  The shards' rounds therefore **overlap** in
-simulated time: S shards commit up to ``S * b_limit`` records in the
-same sim-seconds one shard commits ``b_limit`` — the aggregate
-throughput scaling ``benchmarks/bench_shards.py`` (E14) measures.
+drains every shard's simulator to the same barrier time so the shards'
+rounds overlap in simulated time, runs every argue phase, drains again,
+and closes all rounds.  S shards commit up to ``S * b_limit`` records
+in the same sim-seconds one shard commits ``b_limit`` — the aggregate
+throughput scaling ``benchmarks/bench_shards.py`` (E14) measures, and
+the parallel backend realises in wall-clock (E16).
 
 **Cross-shard transactions.**  The workload marks a transaction whose
 counterparty provider lives on another shard (payload key
 ``"xshard_to"``).  It commits on its home shard like any transaction;
-the coordinator then mints a :class:`~repro.sharding.receipts.
-CrossShardReceipt` signed by the home proposer, verifies it against the
-home identity manager, and relays it to every governor of the remote
-shard (surviving any single governor crash).  The remote leader packs
-the receipt as a relay-signed record.  Exactly-once is layered:
-content-derived receipt ids, per-governor buffer dedup, the engine-wide
-applied-id set, and the pack-time ``_packed_tx_ids`` filter.  Receipts
-are *not* fault-exempt — lost relays are re-sent every super-round
-until the remote commit lands, and the
+the backend scan then mints a :class:`~repro.sharding.receipts.
+CrossShardReceipt` signed by the home proposer and verified against the
+home identity manager, and the driver relays it to every governor of
+the remote shard (surviving any single governor crash).  The remote
+leader packs the receipt as a relay-signed record.  Exactly-once is
+layered: content-derived receipt ids, per-governor buffer dedup, the
+engine-wide applied-id set, and the pack-time ``_packed_tx_ids``
+filter.  Receipts are *not* fault-exempt — lost relays are re-sent
+every super-round until the remote commit lands, and the
 :class:`~repro.audit.CrossShardAuditor` certifies no receipt was ever
 half-applied or replayed.
 
@@ -50,19 +61,19 @@ from typing import Mapping, Sequence
 from repro.agents.behaviors import CollectorBehavior
 from repro.audit.config import AuditConfig
 from repro.audit.xshard import CrossShardAuditor
-from repro.core.netengine import NetworkedProtocolEngine, NetworkedRoundResult
 from repro.core.params import ProtocolParams
 from repro.exceptions import ConfigurationError
 from repro.faults.plan import FaultPlan
-from repro.network.simnet import Simulator
 from repro.network.topology import ShardedTopology
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.parallel.backend import SerialBackend, ShardChainStats
+from repro.parallel.pool import ParallelBackend, parallel_metrics
 from repro.sharding.assignment import (
     Migration,
     migration_moves,
     reshuffle_assignment,
 )
-from repro.sharding.receipts import CrossShardReceipt, make_receipt, verify_receipt
+from repro.sharding.receipts import CrossShardReceipt
 from repro.workloads.generator import TxSpec
 
 __all__ = ["ShardCoordinator", "SuperRoundResult"]
@@ -73,7 +84,10 @@ class SuperRoundResult:
     """Outcome of one super-round across all shards."""
 
     round_number: int
-    shard_results: list[NetworkedRoundResult]
+    #: Per-shard round outcomes: :class:`~repro.core.netengine.
+    #: NetworkedRoundResult` under the serial backend, picklable
+    #: :class:`~repro.parallel.ShardRoundInfo` under the parallel one.
+    shard_results: list
     #: Origin (non-receipt) records committed this super-round.
     committed_tx: int
     #: Receipts minted from fresh home-shard commits this super-round.
@@ -82,6 +96,26 @@ class SuperRoundResult:
     receipts_committed: int
     #: Migrations applied by an epoch reshuffle at the end of the round.
     migrations: list[Migration] = field(default_factory=list)
+
+
+class _VerifiedIM:
+    """Stand-in identity manager carrying a pre-computed verdict.
+
+    Receipt signatures are verified where the home shard's keys live —
+    in-process for the serial backend, worker-side for the parallel one
+    — and the verdict travels with the scan event.  This shim lets the
+    driver-side :class:`CrossShardAuditor` run its usual
+    ``im.verify(...)`` check (same ``checks_run`` accounting) against
+    that verdict without needing a live identity manager.
+    """
+
+    __slots__ = ("_verdict",)
+
+    def __init__(self, verdict: bool):
+        self._verdict = verdict
+
+    def verify(self, node_id, message, signature) -> bool:
+        return self._verdict
 
 
 class ShardCoordinator:
@@ -100,6 +134,14 @@ class ShardCoordinator:
         min_delay / max_delay / resilience / obs / audit: Forwarded to
             every shard engine (see
             :class:`~repro.core.netengine.NetworkedProtocolEngine`).
+        workers: ``None`` or ``1`` selects the serial in-process
+            backend; ``>= 2`` spawns that many worker processes and
+            distributes shards round-robin (capped at the shard count).
+        storage: Optional per-shard
+            :class:`~repro.storage.StorageConfig` list — required for
+            post-crash worker restarts under the parallel backend.
+        worker_timeout: Per-phase barrier timeout (seconds) before a
+            silent worker is declared crashed (parallel backend only).
     """
 
     def __init__(
@@ -114,6 +156,9 @@ class ShardCoordinator:
         resilience: bool = False,
         obs: MetricsRegistry | None = None,
         audit: AuditConfig | None = None,
+        workers: int | None = None,
+        storage: Sequence[object | None] | None = None,
+        worker_timeout: float = 60.0,
     ):
         if epoch_rounds is not None and epoch_rounds < 1:
             raise ConfigurationError(f"epoch_rounds must be >= 1, got {epoch_rounds}")
@@ -122,30 +167,37 @@ class ShardCoordinator:
         self.seed = seed
         self.epoch_rounds = epoch_rounds
         self.obs = obs if obs is not None else NULL_REGISTRY
-        self.sim = Simulator(seed=seed)
-        self.obs.bind_clock(lambda: self.sim.now)
         self._behaviors = dict(behaviors or {})
-        self.engines: list[NetworkedProtocolEngine] = []
-        for k, shard_topo in enumerate(topology.shards):
-            shard_behaviors = {
-                cid: b
-                for cid, b in self._behaviors.items()
-                if cid in shard_topo.collectors
-            }
-            engine = NetworkedProtocolEngine(
-                shard_topo,
+        self._max_delay = max_delay
+        if workers is not None and workers >= 2:
+            self.backend = ParallelBackend(
+                topology,
                 params,
-                behaviors=shard_behaviors,
-                seed=seed + 7919 * (k + 1),
+                behaviors=self._behaviors,
+                seed=seed,
                 min_delay=min_delay,
                 max_delay=max_delay,
                 resilience=resilience,
                 obs=self.obs,
                 audit=audit,
-                sim=self.sim,
+                storage=storage,
+                workers=workers,
+                phase_timeout=worker_timeout,
             )
-            engine.enable_xshard(relay_id=f"relay-s{k}")
-            self.engines.append(engine)
+        else:
+            self.backend = SerialBackend(
+                topology,
+                params,
+                behaviors=self._behaviors,
+                seed=seed,
+                min_delay=min_delay,
+                max_delay=max_delay,
+                resilience=resilience,
+                obs=self.obs,
+                audit=audit,
+                storage=storage,
+            )
+        self.obs.bind_clock(lambda: self.now)
         self.auditor = CrossShardAuditor(obs=self.obs)
         self.provider_shard = dict(topology.provider_shard)
         self.collector_shard = dict(topology.collector_shard)
@@ -199,7 +251,43 @@ class ShardCoordinator:
             "Total live collector reputation mass hosted, by shard",
             labels=("shard",),
         )
+        # Register the par_* family on every backend so serial runs
+        # export them (at zero) too — OBSERVABILITY.md coverage is
+        # backend-independent.
+        parallel_metrics(self.obs)
         self._update_mass_gauge()
+
+    # -- backend access ----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The shared barrier clock (simulated seconds)."""
+        return self.backend.now()
+
+    @property
+    def engines(self):
+        """The live shard engines — serial backend only.
+
+        Under the parallel backend the engines live in worker
+        processes; use :meth:`chain_stats`, :meth:`tip_hashes`, or
+        :meth:`collector_masses` for cross-backend reporting.
+        """
+        if self.backend.kind != "serial":
+            raise ConfigurationError(
+                "shard engines live in worker processes under the parallel "
+                "backend; use chain_stats()/tip_hashes() instead"
+            )
+        return self.backend.engines
+
+    @property
+    def sim(self):
+        """The shared simulator — serial backend only (see :attr:`now`)."""
+        if self.backend.kind != "serial":
+            raise ConfigurationError(
+                "no shared in-process simulator under the parallel backend; "
+                "use .now for the barrier clock"
+            )
+        return self.backend.sim
 
     # -- workload routing -------------------------------------------------
 
@@ -228,25 +316,29 @@ class ShardCoordinator:
         # Re-relay receipts whose remote commit is still outstanding
         # (first relay lost to faults, or the remote leader crashed
         # before packing).  Receiver-side dedup makes retries harmless.
-        for rid in sorted(self._pending):
-            self._relay(self._pending[rid][0], attempt="retry")
-        ctxs = []
-        for k, engine in enumerate(self.engines):
-            capacity = self.params.b_limit - len(engine._reevaluated_queue)
+        if self._pending:
+            retry: dict[int, list[CrossShardReceipt]] = {}
+            for rid in sorted(self._pending):
+                receipt = self._pending[rid][0]
+                retry.setdefault(receipt.remote_shard, []).append(receipt)
+                self._m_relays.labels(attempt="retry").inc()
+            self.backend.relay(retry)
+        carryover = self.backend.carryover()
+        specs: list[list[TxSpec]] = []
+        for k in range(self.topology.num_shards):
+            capacity = self.params.b_limit - carryover[k]
             queue = self._backlog[k]
-            specs = [queue.popleft() for _ in range(min(max(capacity, 0), len(queue)))]
-            ctxs.append(engine.begin_round(specs))
-        self.sim.run(until=max(ctx.drain_until for ctx in ctxs))
-        argue_until = [
-            engine.begin_argue(ctx) for engine, ctx in zip(self.engines, ctxs)
-        ]
-        self.sim.run(until=max(argue_until))
-        results = [
-            engine.complete_round(ctx) for engine, ctx in zip(self.engines, ctxs)
-        ]
-        for k in range(len(self.engines)):
+            specs.append(
+                [queue.popleft() for _ in range(min(max(capacity, 0), len(queue)))]
+            )
+        drain_until = self.backend.begin_round(specs)
+        self.backend.run_until(max(drain_until))
+        argue_until = self.backend.begin_argue()
+        self.backend.run_until(max(argue_until))
+        results = self.backend.complete_round()
+        for k in range(self.topology.num_shards):
             self._m_rounds.labels(shard=str(k)).inc()
-        minted, receipts_in, origin = self._scan_and_relay()
+        minted, receipts_in, origin = self._ingest_scans()
         self.committed_total += origin
         migrations: list[Migration] = []
         if self.epoch_rounds is not None and self._round % self.epoch_rounds == 0:
@@ -261,81 +353,70 @@ class ShardCoordinator:
             migrations=migrations,
         )
 
-    def _scan_and_relay(self) -> tuple[int, int, int]:
-        """Advance block cursors: mint+relay receipts, settle remote legs."""
-        minted = receipts_in = origin = 0
-        for k, engine in enumerate(self.engines):
-            while self._cursors[k] < engine.store.height:
-                self._cursors[k] += 1
-                block = engine.store.retrieve(self._cursors[k])
-                for record in block.tx_list:
-                    payload = record.tx.body.payload
-                    if isinstance(payload, dict) and "xshard_receipt" in payload:
-                        receipts_in += 1
-                        self._m_cross_in.labels(shard=str(k)).inc()
-                        rid = payload["xshard_receipt"]
-                        pending = self._pending.pop(rid, None)
-                        if pending is not None:
-                            self._m_cross_latency.observe(self.sim.now - pending[1])
-                        self.auditor.record_remote_commit(
-                            rid, shard=k, serial=block.serial, round_number=self._round
-                        )
-                        continue
-                    origin += 1
-                    self._m_committed.labels(shard=str(k)).inc()
-                    if not (isinstance(payload, dict) and "xshard_to" in payload):
-                        continue
-                    target = self.provider_shard.get(payload["xshard_to"])
-                    if target is None or target == k:
-                        continue  # same-shard counterparty needs no relay
-                    receipt = make_receipt(
-                        engine.governors[block.proposer].key,
-                        home_shard=k,
-                        remote_shard=target,
-                        tx_id=record.tx.tx_id,
-                        home_serial=block.serial,
-                    )
-                    self.auditor.record_home_commit(receipt, engine.im, self._round)
-                    minted += 1
-                    self._m_cross_out.labels(shard=str(k)).inc()
-                    self._pending[receipt.receipt_id] = (receipt, self.sim.now)
-                    self._relay(receipt, attempt="first")
-        return minted, receipts_in, origin
+    def _ingest_scans(self) -> tuple[int, int, int]:
+        """Advance block cursors: mint+relay receipts, settle remote legs.
 
-    def _relay(self, receipt: CrossShardReceipt, attempt: str) -> None:
-        """Fan a verified receipt out to every remote-shard governor.
-
-        Sending to the full governor set (not just the next leader)
-        is what lets a relay survive any single governor crash: the
-        eventual pack-time leader, whoever it is, holds the receipt.
+        The backend scans each shard's chain past the driver's cursor
+        and reports, in exact commit order, receipt landings and freshly
+        minted (home-verified) receipts.  The driver audits both legs
+        and batches first relays per remote shard — batch order is each
+        remote shard's arrival order under the old per-receipt relay
+        loop, so remote network latency draws are unchanged.
         """
-        engine = self.engines[receipt.remote_shard]
-        home = self.engines[receipt.home_shard]
-        if not verify_receipt(receipt, home.im):
-            raise ConfigurationError(
-                f"refusing to relay unverifiable receipt {receipt.receipt_id}"
-            )
-        relay_id = engine._xshard_relay
-        for gid in engine.topology.governors:
-            engine.network.send(relay_id, gid, receipt)
-        self._m_relays.labels(attempt=attempt).inc()
+        minted = receipts_in = origin = 0
+        first: dict[int, list[CrossShardReceipt]] = {}
+        for scan in self.backend.scan_commits(self._cursors):
+            k = scan.shard
+            self._cursors[k] = scan.cursor
+            origin += scan.origin
+            if scan.origin:
+                self._m_committed.labels(shard=str(k)).inc(scan.origin)
+            for event in scan.events:
+                if event[0] == "r":
+                    _, rid, serial = event
+                    receipts_in += 1
+                    self._m_cross_in.labels(shard=str(k)).inc()
+                    pending = self._pending.pop(rid, None)
+                    if pending is not None:
+                        self._m_cross_latency.observe(self.now - pending[1])
+                    self.auditor.record_remote_commit(
+                        rid, shard=k, serial=serial, round_number=self._round
+                    )
+                    continue
+                _, receipt, verified = event
+                if not verified:
+                    self.auditor.record_home_commit(
+                        receipt, _VerifiedIM(False), self._round
+                    )
+                    raise ConfigurationError(
+                        f"refusing to relay unverifiable receipt {receipt.receipt_id}"
+                    )
+                self.auditor.record_home_commit(
+                    receipt, _VerifiedIM(True), self._round
+                )
+                minted += 1
+                self._m_cross_out.labels(shard=str(k)).inc()
+                self._pending[receipt.receipt_id] = (receipt, self.now)
+                first.setdefault(receipt.remote_shard, []).append(receipt)
+                self._m_relays.labels(attempt="first").inc()
+        if first:
+            self.backend.relay(first)
+        return minted, receipts_in, origin
 
     # -- epoch reshuffling -------------------------------------------------
 
     def reshuffle(self) -> list[Migration]:
         """Rebalance collectors across shards by live reputation mass.
 
-        Reads every engine's :meth:`collector_masses`, recomputes the
-        seeded balanced assignment for the new epoch, and migrates the
+        Reads every engine's collector masses, recomputes the seeded
+        balanced assignment for the new epoch, and migrates the
         collectors that change shard: released from the source engine
         (churn retirement) and adopted by the destination into the
         vacated provider slots via median-bootstrap readmission.
         Returns the migrations applied (possibly none).
         """
         self._epoch += 1
-        masses: dict[str, float] = {}
-        for engine in self.engines:
-            masses.update(engine.collector_masses())
+        masses = self.backend.collector_masses()
         target = reshuffle_assignment(
             self.collector_shard,
             masses,
@@ -346,21 +427,22 @@ class ShardCoordinator:
         moves = migration_moves(self.collector_shard, target)
         # Release every migrant first (capturing its provider slots and
         # live behaviour), then fill each shard's vacancies in sorted
-        # arrival order — deterministic slot inheritance.
-        released: dict[str, tuple[tuple[str, ...], CollectorBehavior]] = {}
+        # arrival order — deterministic slot inheritance.  Per-engine
+        # call order follows the sorted move order on both backends.
+        release_order: dict[int, list[str]] = {}
+        for move in moves:
+            release_order.setdefault(move.source, []).append(move.collector)
+        released = self.backend.release_collectors(release_order)
         vacancies: dict[int, deque[tuple[str, ...]]] = {}
         for move in moves:
-            providers, behavior = self.engines[move.source].release_collector(
-                move.collector
-            )
-            released[move.collector] = (providers, behavior)
+            providers, _ = released[move.collector]
             vacancies.setdefault(move.source, deque()).append(providers)
+        adoptions = []
         for move in moves:
             slots = vacancies[move.target].popleft()
             _, behavior = released[move.collector]
-            self.engines[move.target].adopt_collector(
-                move.collector, slots, behavior=behavior
-            )
+            adoptions.append((move.target, move.collector, slots, behavior))
+        self.backend.adopt_collectors(adoptions)
         self.collector_shard = dict(target)
         self.reshuffle_log.append((self._round, self._epoch, moves))
         self._m_reshuffles.inc()
@@ -368,16 +450,39 @@ class ShardCoordinator:
         self._update_mass_gauge()
         return moves
 
+    def collector_masses(self) -> dict[str, float]:
+        """Live reputation mass per collector, across every shard."""
+        return self.backend.collector_masses()
+
     def _update_mass_gauge(self) -> None:
-        for k, engine in enumerate(self.engines):
-            total = sum(engine.collector_masses().values())
+        if self.obs is NULL_REGISTRY:
+            return  # skip the (possibly cross-process) mass read
+        masses = self.backend.collector_masses()
+        totals = [0.0] * self.topology.num_shards
+        for cid, mass in masses.items():
+            totals[self.collector_shard[cid]] += mass
+        for k, total in enumerate(totals):
             self._m_mass.labels(shard=str(k)).set(total)
 
     # -- faults, finalisation, reporting -----------------------------------
 
     def install_faults(self, shard: int, plan: FaultPlan, tamperer=None):
-        """Install a seeded fault plan on one shard's engine."""
-        return self.engines[shard].install_faults(plan, tamperer=tamperer)
+        """Install a seeded fault plan on one shard's engine.
+
+        Serial backend: returns the live
+        :class:`~repro.faults.FaultInjector`.  Parallel backend: the
+        injector lives worker-side and ``None`` is returned; tamperers
+        (live callbacks) are rejected there.
+        """
+        return self.backend.install_faults(shard, plan, tamperer=tamperer)
+
+    def restart_worker(self, worker: int) -> None:
+        """Respawn a crashed worker from durable storage (parallel only)."""
+        if self.backend.kind != "parallel":
+            raise ConfigurationError(
+                "restart_worker requires the parallel backend"
+            )
+        self.backend.restart_worker(worker)
 
     def flush(self, max_rounds: int = 6) -> int:
         """Run empty super-rounds until no receipt awaits its remote leg.
@@ -392,7 +497,7 @@ class ShardCoordinator:
         # saturating offered load the drain could otherwise mint new
         # receipts every round and never converge.
         stashed = self._backlog
-        self._backlog = [deque() for _ in self.engines]
+        self._backlog = [deque() for _ in range(self.topology.num_shards)]
         try:
             while self._pending and executed < max_rounds:
                 self.run_super_round()
@@ -406,26 +511,48 @@ class ShardCoordinator:
 
         Returns the :class:`~repro.audit.auditor.AuditReport` of the
         cross-shard auditor; ``report.clean`` means every cross-shard
-        transaction committed exactly once on both legs.
+        transaction committed exactly once on both legs.  Workers (if
+        any) stay up for post-run reporting — call :meth:`close` when
+        done with the coordinator.
         """
         if flush:
             self.flush()
-        for engine in self.engines:
-            engine.finalize()
+        self._drain_recovery()
+        self.backend.finalize_engines()
         return self.auditor.finalize(self._round)
+
+    def _drain_recovery(self) -> None:
+        """Walk each shard's end-of-run recovery drain at shared targets.
+
+        Mirrors :meth:`~repro.core.netengine.NetworkedProtocolEngine.
+        drain_recovery` shard by shard, but issues the clock advances
+        through the backend so *every* engine reaches the same barrier
+        times — the final simulated clock (and sim-time throughput) is
+        then identical between the serial and parallel backends.  Cheap
+        when resilience is off: one probe per shard, no advances.
+        """
+        grace = 40 * self._max_delay
+        cycles = 6
+        for k in range(self.topology.num_shards):
+            for _ in range(cycles):
+                if not self.backend.repair_scan(k):
+                    break
+                self.backend.run_until(self.now + grace / cycles)
+
+    def close(self) -> None:
+        """Tear down the execution backend (shuts worker processes down)."""
+        self.backend.close()
 
     def throughput(self) -> float:
         """Aggregate committed origin records per simulated second."""
-        if self.sim.now <= 0:
+        if self.now <= 0:
             return 0.0
-        return self.committed_total / self.sim.now
+        return self.committed_total / self.now
 
     def tip_hashes(self) -> list[str]:
         """Each shard's chain tip hash (the determinism fingerprint)."""
-        tips = []
-        for engine in self.engines:
-            height = engine.store.height
-            tips.append(
-                engine.store.retrieve(height).hash().hex() if height else ""
-            )
-        return tips
+        return self.backend.tip_hashes()
+
+    def chain_stats(self) -> list[ShardChainStats]:
+        """Per-shard chain summaries (works on every backend)."""
+        return self.backend.chain_stats()

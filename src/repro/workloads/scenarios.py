@@ -353,8 +353,14 @@ def shard_scenario_names() -> list[str]:
     return sorted(SHARD_SCENARIOS)
 
 
-def build_shard_deployment(name: str, seed: int = 0):
+def build_shard_deployment(name: str, seed: int = 0, workers: int | None = None):
     """Materialise a named sharded scenario.
+
+    Args:
+        workers: forwarded to :class:`~repro.sharding.ShardCoordinator` —
+            ``None``/``1`` runs every shard engine in-process, ``>= 2``
+            spawns that many worker processes (same seed, bit-identical
+            ledgers, multi-core wall-clock).
 
     Returns:
         ``(coordinator, workload, scenario)``; run it with
@@ -384,6 +390,7 @@ def build_shard_deployment(name: str, seed: int = 0):
         scenario.params,
         seed=seed,
         epoch_rounds=scenario.epoch_rounds,
+        workers=workers,
     )
     providers = [p for topo in sharded.shards for p in topo.providers]
     inner = BernoulliWorkload(providers, p_valid=0.8, seed=seed + 1)

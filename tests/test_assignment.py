@@ -1,0 +1,97 @@
+"""Edge cases of the pure reshuffle math (:mod:`repro.sharding.assignment`).
+
+Complements the happy-path coverage in ``test_sharding.py`` with the
+degenerate configurations an epoch scheduler can legitimately reach:
+the single-shard deployment (the permutation must be a no-op in effect,
+never a crash), fully tied reputation masses (the seeded permutation is
+the *only* tie-breaker and must be deterministic), and the validation
+guards on malformed universes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sharding import Migration, migration_moves, reshuffle_assignment
+
+
+def uniform(ids, mass=1.0):
+    return {cid: mass for cid in ids}
+
+
+class TestSingleShard:
+    def test_single_shard_assignment_is_identity(self):
+        # With S=1 every epoch's permutation collapses to the same
+        # assignment: everyone stays on shard 0, no migrations ever.
+        current = {f"c{i}": 0 for i in range(6)}
+        masses = {f"c{i}": float(i) for i in range(6)}
+        for epoch in range(1, 5):
+            target = reshuffle_assignment(current, masses, 1, seed=3, epoch=epoch)
+            assert target == current
+            assert migration_moves(current, target) == []
+
+    def test_single_collector_single_shard(self):
+        target = reshuffle_assignment({"c0": 0}, {"c0": 5.0}, 1, seed=0, epoch=1)
+        assert target == {"c0": 0}
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            reshuffle_assignment({"c0": 0}, {"c0": 1.0}, 0, seed=0, epoch=1)
+
+    def test_uneven_split_rejected(self):
+        current = {f"c{i}": 0 for i in range(5)}
+        with pytest.raises(ConfigurationError, match="evenly"):
+            reshuffle_assignment(current, uniform(current), 2, seed=0, epoch=1)
+
+
+class TestTiedMasses:
+    def test_tied_masses_resolve_by_seeded_permutation(self):
+        # All-equal masses give the greedy packer no signal: the seeded
+        # permutation alone decides placement, so identical (seed,
+        # epoch) pairs must agree and the result must stay balanced.
+        current = {f"c{i}": i % 4 for i in range(12)}
+        masses = uniform(current)
+        a = reshuffle_assignment(current, masses, 4, seed=11, epoch=2)
+        b = reshuffle_assignment(current, masses, 4, seed=11, epoch=2)
+        assert a == b
+        for k in range(4):
+            assert sum(1 for s in a.values() if s == k) == 3
+
+    def test_tied_masses_vary_across_epochs(self):
+        current = {f"c{i}": i % 2 for i in range(8)}
+        masses = uniform(current)
+        assignments = {
+            tuple(sorted(reshuffle_assignment(current, masses, 2, 11, e).items()))
+            for e in range(1, 8)
+        }
+        assert len(assignments) > 1
+
+    def test_tied_masses_insensitive_to_input_dict_order(self):
+        ids = [f"c{i}" for i in range(8)]
+        current_fwd = {cid: i % 2 for i, cid in enumerate(ids)}
+        current_rev = dict(reversed(list(current_fwd.items())))
+        a = reshuffle_assignment(current_fwd, uniform(ids), 2, seed=4, epoch=3)
+        b = reshuffle_assignment(current_rev, uniform(ids), 2, seed=4, epoch=3)
+        assert a == b
+
+
+class TestMoves:
+    def test_no_op_assignment_yields_no_moves(self):
+        current = {"c0": 0, "c1": 1}
+        assert migration_moves(current, dict(current)) == []
+
+    def test_full_swap_is_size_preserving_and_sorted(self):
+        current = {"c0": 0, "c1": 1, "c2": 0, "c3": 1}
+        target = {"c0": 1, "c1": 0, "c2": 1, "c3": 0}
+        moves = migration_moves(current, target)
+        assert moves == [
+            Migration("c0", 0, 1),
+            Migration("c1", 1, 0),
+            Migration("c2", 0, 1),
+            Migration("c3", 1, 0),
+        ]
+
+    def test_extra_collector_in_target_rejected(self):
+        with pytest.raises(ConfigurationError, match="different collector"):
+            migration_moves({"c0": 0, "c1": 0}, {"c0": 0, "c1": 0, "c2": 0})

@@ -187,6 +187,43 @@ class TestShippedResults:
         assert "shard_cross_tx_in_total" in names
         assert "shard_receipt_relays_total" in names
 
+    def test_e16_parallel_twin_is_well_formed(self, helpers):
+        """The E16 sweep's structured metrics back its headline claims:
+        the multi-process backend commits bit-identical ledgers to the
+        serial one at every shard count, atomicity intact, and the
+        >=2x wall-clock criterion is enforced whenever the host has the
+        cores to make it physically meaningful."""
+        path = helpers.RESULTS_DIR / "BENCH_E16_shards_parallel.json"
+        if not path.exists():
+            pytest.skip("E16 results not generated")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == helpers.BENCH_SCHEMA
+        assert doc["metrics"]["cpu_count"] >= 1
+        sweep = doc["metrics"]["wallclock_sweep"]
+        assert [row["shards"] for row in sweep] == [1, 2, 4]
+        for row in sweep:
+            assert row["backend"] == "serial"
+            assert row["audit_clean"], row
+            assert row["atomicity_violations"] == 0, row
+            if row["parallel"] is not None:
+                par = row["parallel"]
+                assert par["tips_match_serial"], par
+                assert par["audit_clean"], par
+                assert par["atomicity_violations"] == 0, par
+                # Same seed, same protocol: identical sim-time results.
+                assert par["committed"] == row["committed"], par
+                assert par["sim_throughput"] == row["sim_throughput"], par
+        assert doc["metrics"]["tips_identical"]
+        if doc["metrics"]["speedup_enforced"]:
+            assert doc["metrics"]["wall_speedup_top"] >= 2.0
+        assert doc["metrics"]["speedup_ok"]
+        assert doc["metrics"]["all_ok"]
+        # The parallel harness telemetry rode along in the snapshot.
+        names = set(doc["observability"]["metrics"])
+        assert "par_ipc_msgs_total" in names
+        assert "par_barrier_wait_seconds" in names
+        assert "par_worker_round_seconds" in names
+
     def test_e15_recovery_twin_is_well_formed(self, helpers):
         """The E15 sweep's structured metrics back its headline claims:
         checkpoints bound restart replay to a fixed window regardless

@@ -26,7 +26,7 @@ DOC = pathlib.Path(__file__).parent.parent / "OBSERVABILITY.md"
 
 #: Anything shaped like one of our metric names.
 _METRIC_TOKEN = re.compile(
-    r"\b(?:net|abcast|rel|gov|rep|engine|audit|byz|shard|storage)_[a-z0-9_]+\b"
+    r"\b(?:net|abcast|rel|gov|rep|engine|audit|byz|shard|storage|par)_[a-z0-9_]+\b"
 )
 
 

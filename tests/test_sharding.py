@@ -179,6 +179,24 @@ class TestCoordinator:
         # Each of 2 shards packs at most b_limit=16 per round.
         assert coordinator.backlog_depth() >= 100 - 2 * PARAMS.b_limit
 
+    def test_flush_stashes_backlog_and_restores_it(self):
+        # flush() must drain pending receipts with genuinely empty
+        # rounds: queued workload is stashed for the duration and handed
+        # back untouched afterwards, so a saturated deployment can still
+        # converge its cross-shard legs.
+        coordinator, workload = build_coordinator()
+        coordinator.submit(workload.take(64))
+        coordinator.run_super_round()
+        depth_before = coordinator.backlog_depth()
+        assert depth_before > 0
+        committed_before = coordinator.committed_total
+        executed = coordinator.flush()
+        assert coordinator._pending == {} or executed == 6
+        # Flush rounds committed no origin workload and the backlog
+        # came back exactly as stashed.
+        assert coordinator.committed_total == committed_before
+        assert coordinator.backlog_depth() == depth_before
+
     def test_same_shard_counterparty_needs_no_receipt(self):
         coordinator, _ = build_coordinator()
         provider = coordinator.engines[0].topology.providers[0]
