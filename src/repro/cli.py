@@ -15,7 +15,11 @@ Subcommands:
   an on-disk segment log (the kill-restart chaos harness drives this
   as a subprocess and SIGKILLs it mid-round);
 * ``recover`` — replay and verify a durable ledger directory, printing
-  the recovery report without starting an engine.
+  the recovery report without starting an engine;
+* ``serve`` — run a custodian peer for the real-socket transport: it
+  CRC-validates and acknowledges conveyed frames and answers
+  heartbeats (the localhost-cluster harness spawns ``n`` of these; see
+  DESIGN.md, "Transport backend").
 
 Example::
 
@@ -156,6 +160,16 @@ def build_parser() -> argparse.ArgumentParser:
         "recover", help="verify a durable ledger directory and print the report"
     )
     recover.add_argument("--dir", required=True)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a custodian peer: validate and ack conveyed frames "
+             "(the localhost-cluster harness spawns these)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port to bind (0 = OS-assigned; the bound "
+                            "port is announced on stdout)")
     return parser
 
 
@@ -375,6 +389,26 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.network.realnet import NodeServer
+
+    async def serve() -> None:
+        server = NodeServer(host=args.host, port=args.port)
+        await server.start()
+        # The flushed announcement is the cluster harness's readiness
+        # cue (and carries the OS-assigned port when --port 0).
+        print(f"listening host={server.host} port={server.port}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "regret": _cmd_regret,
@@ -384,6 +418,7 @@ _COMMANDS = {
     "shard": _cmd_shard,
     "durable": _cmd_durable,
     "recover": _cmd_recover,
+    "serve": _cmd_serve,
 }
 
 

@@ -64,7 +64,7 @@ the auditor on or off (locked in by ``tests/test_audit.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -210,6 +210,12 @@ class NetworkedProtocolEngine:
             :class:`~repro.sharding.ShardCoordinator` runs ``S`` engines
             side by side in one simulated timeline.  The engine still
             owns its network, broadcast layer, and identity manager.
+        network_factory: Optional transport backend constructor, called
+            as ``factory(sim, min_delay=..., max_delay=..., seed=...,
+            obs=...)``.  Defaults to :class:`SyncNetwork`; a cluster
+            harness passes :class:`~repro.network.realnet.RealNetwork`
+            (pre-bound to its custodian peers) so the identical engine
+            runs over real sockets — see DESIGN.md §"Transport backend".
     """
 
     def __init__(
@@ -226,6 +232,7 @@ class NetworkedProtocolEngine:
         audit: AuditConfig | None = None,
         sim: Simulator | None = None,
         storage: StorageConfig | None = None,
+        network_factory: Callable[..., SyncNetwork] | None = None,
     ):
         if params.delta < 2 * max_delay:
             raise ConfigurationError(
@@ -257,7 +264,14 @@ class NetworkedProtocolEngine:
             self.store = BlockStore()
         self.sim = sim if sim is not None else Simulator(seed=seed)
         self.obs.bind_clock(lambda: self.sim.now)
-        self.network = SyncNetwork(
+        # The transport backend is pluggable behind the narrow
+        # repro.network.transport.Transport surface: the default is the
+        # discrete-event SyncNetwork; a harness passes a factory that
+        # builds e.g. repro.network.realnet.RealNetwork with the same
+        # delay bounds and seed, so the engine (and every layer above
+        # the network) runs unmodified over real sockets.
+        factory = network_factory if network_factory is not None else SyncNetwork
+        self.network = factory(
             self.sim, min_delay=min_delay, max_delay=max_delay, seed=seed + 1,
             obs=self.obs,
         )
@@ -683,11 +697,24 @@ class NetworkedProtocolEngine:
         return TxRecord(tx=tx, label=Label.VALID, status=CheckStatus.CHECKED)
 
     def _receipt_records(self, gid: str, budget: int) -> list[TxRecord]:
-        """The leader's buffered receipts, as records, up to ``budget``."""
+        """The leader's buffered receipts, as records, up to ``budget``.
+
+        Receipts already on chain are skipped (and evicted): a duplicated
+        relay message arriving in the window between one leader's pack
+        and the block's observation can be re-buffered at the *next*
+        round's leader, whose buffer dedup in ``_ingest_receipt`` ran
+        before ``_applied_receipt_ids`` learned the id. Checking the
+        applied set again at pack time closes that replay window.
+        """
         if self._xshard_relay is None or budget <= 0:
             return []
+        buffer = self._receipt_buffers[gid]
+        stale = [rid for rid in buffer if rid in self._applied_receipt_ids]
+        for rid in stale:
+            del buffer[rid]
+            self._m_receipt_dups.inc()
         buffered = sorted(
-            self._receipt_buffers[gid].values(),
+            buffer.values(),
             key=lambda r: (r.home_serial, r.receipt_id),
         )
         return [self._receipt_record(receipt) for receipt in buffered[:budget]]

@@ -82,6 +82,33 @@ class SynchronyViolationError(NetworkError):
     """A message delay exceeded the known synchrony bound Delta."""
 
 
+class TransportError(NetworkError):
+    """Base class for failures of a real (socket-backed) transport."""
+
+
+class FrameError(TransportError):
+    """A wire frame failed structural or CRC validation."""
+
+
+class PeerUnreachableError(TransportError):
+    """A peer stayed unreachable past the transport's retry budget.
+
+    The structured give-up signal of :mod:`repro.network.realnet`:
+    raised after bounded reconnect backoff and per-frame retransmission
+    budgets are exhausted (or the liveness watchdog sees no progress at
+    all for its stall window) — the transport degrades to an error the
+    caller can act on, never a hang.
+    """
+
+    def __init__(self, peer: str, detail: str = "", attempts: int = 0):
+        self.peer = peer
+        self.attempts = attempts
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"peer {peer!r} unreachable after {attempts} attempts{suffix}"
+        )
+
+
 class ParallelExecutionError(SimulationError):
     """Base class for failures of the multi-process shard executor."""
 

@@ -16,6 +16,7 @@ from repro.network.reliable import (
 )
 from repro.network.simnet import Message, NetworkStats, Simulator, SyncNetwork
 from repro.network.topology import Topology, collector_id, governor_id, provider_id
+from repro.network.transport import Transport
 from repro.network.visibility import VisibilityMap
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "Simulator",
     "SyncNetwork",
     "Topology",
+    "Transport",
     "VisibilityMap",
     "collector_id",
     "governor_id",

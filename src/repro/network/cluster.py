@@ -1,0 +1,248 @@
+"""Localhost cluster harness: one seeded scenario, both transports.
+
+The parity gate of the transport backend: build the *identical* engine
+twice — once on the discrete-event :class:`~repro.network.simnet.SyncNetwork`,
+once on :class:`~repro.network.realnet.RealNetwork` wired to an n-peer
+localhost cluster — drive the same seeded workload through the
+phase-split round API, and compare committed chain tips byte for byte.
+
+Custodian peers are real processes (``python -m repro serve``) by
+default; :func:`run_scenario` also accepts pre-started in-process
+servers (tests) or :class:`~repro.faults.proxy.TransportFaultProxy`
+addresses (socket chaos).  The distribution split is deliberate and
+documented: the driver hosts the agents' logical state, the peers are
+transport custodians that every admitted message must physically reach
+— deterministic replay over a real wire; moving agent state into the
+peers is the ROADMAP's next step, not this one's.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.netengine import NetworkedProtocolEngine
+from repro.core.params import ProtocolParams
+from repro.exceptions import PeerUnreachableError
+from repro.faults.plan import FaultPlan
+from repro.network.realnet import RealNetwork, TransportConfig
+from repro.network.topology import Topology
+from repro.obs.registry import MetricsRegistry
+from repro.workloads.generator import BernoulliWorkload
+
+__all__ = [
+    "ClusterHandle",
+    "ClusterScenario",
+    "compare_backends",
+    "launch_custodians",
+    "run_scenario",
+]
+
+_LISTENING = re.compile(r"listening host=(\S+) port=(\d+)")
+
+
+@dataclass(frozen=True)
+class ClusterScenario:
+    """One seeded run, identical on either backend."""
+
+    l: int = 8
+    n: int = 4
+    m: int = 4
+    r: int = 2
+    rounds: int = 4
+    batch: int = 12
+    seed: int = 5
+    p_valid: float = 0.8
+    min_delay: float = 0.005
+    max_delay: float = 0.05
+    resilience: bool = True
+    #: Logical fault plan (installed via the engine's FaultInjector) —
+    #: applied identically on both backends, part of the seeded schedule.
+    plan: FaultPlan | None = None
+
+    def params(self) -> ProtocolParams:
+        return ProtocolParams(f=0.5, delta=max(0.2, 2 * self.max_delay), b_limit=64)
+
+
+@dataclass
+class ClusterHandle:
+    """Live custodian subprocesses and their bound addresses."""
+
+    procs: list = field(default_factory=list)
+    addresses: list = field(default_factory=list)  # (name, host, port)
+
+    def close(self) -> None:
+        for proc in self.procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self.procs:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5.0)
+
+
+def launch_custodians(count: int, startup_timeout: float = 30.0) -> ClusterHandle:
+    """Spawn ``count`` ``repro serve`` peer processes on localhost.
+
+    Each peer binds an OS-assigned port and announces it on stdout; the
+    harness parses the announcement.  A peer that fails to announce
+    within the timeout aborts the launch (cluster torn down) with a
+    structured :class:`~repro.exceptions.PeerUnreachableError`.
+    """
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    handle = ClusterHandle()
+    try:
+        for i in range(count):
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro", "serve",
+                 "--host", "127.0.0.1", "--port", "0"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                text=True,
+                env=env,
+            )
+            handle.procs.append(proc)
+            deadline = time.monotonic() + startup_timeout
+            line = ""
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if line or proc.poll() is not None:
+                    break
+            match = _LISTENING.search(line or "")
+            if match is None:
+                raise PeerUnreachableError(
+                    f"peer-{i}",
+                    f"serve process announced {line!r} instead of an address",
+                )
+            handle.addresses.append(
+                (f"peer-{i}", match.group(1), int(match.group(2)))
+            )
+    except BaseException:
+        handle.close()
+        raise
+    return handle
+
+
+def _drive(engine: NetworkedProtocolEngine, scenario: ClusterScenario) -> dict:
+    """Run the scenario through the phase-split API on either backend.
+
+    All clock advancement goes through ``network.run_until`` — the one
+    method whose meaning differs between backends (pure event stepping
+    vs physically-mediated stepping) — so the engine itself stays
+    byte-identical across them.
+    """
+    network = engine.network
+    workload = BernoulliWorkload(
+        engine.topology.providers, p_valid=scenario.p_valid,
+        seed=scenario.seed + 1,
+    )
+    committed = 0
+    for _ in range(scenario.rounds):
+        ctx = engine.begin_round(workload.take(scenario.batch))
+        network.run_until(ctx.drain_until)
+        network.run_until(engine.begin_argue(ctx))
+        result = engine.complete_round(ctx)
+        committed += len(result.block.tx_list)
+    # The recovery drain, walked in bounded slices so realnet conveyance
+    # gates apply inside it too (mirrors ShardCoordinator._drain_recovery).
+    grace = 40 * network.max_delay
+    for _ in range(6):
+        if not engine.recovery_lagging():
+            break
+        network.run_until(engine.sim.now + grace / 6)
+    engine.finalize(drain=False)
+    height = engine.store.height
+    return {
+        "tip": engine.store.retrieve(height).hash().hex() if height else "",
+        "height": height,
+        "committed": committed,
+        "clock": engine.sim.now,
+        "audit_clean": engine.harness_auditor.report.clean,
+        "violations": len(engine.harness_auditor.report.violations),
+    }
+
+
+def run_scenario(
+    scenario: ClusterScenario,
+    backend: str = "sim",
+    custodians: Sequence[tuple[str, str, int]] = (),
+    config: TransportConfig | None = None,
+    obs: MetricsRegistry | None = None,
+) -> dict:
+    """Execute the scenario on one backend; returns the result summary.
+
+    ``backend="real"`` needs ``custodians`` — ``(name, host, port)``
+    triples of live peers (or chaos proxies fronting them).
+    """
+    factory: Callable | None = None
+    if backend == "real":
+        if not custodians:
+            raise PeerUnreachableError("cluster", "no custodian addresses given")
+        peer_addrs = tuple(custodians)
+        transport_config = config
+
+        def factory(sim, **kwargs):
+            return RealNetwork(
+                sim, custodians=peer_addrs, config=transport_config, **kwargs
+            )
+
+    topo = Topology.regular(l=scenario.l, n=scenario.n, m=scenario.m, r=scenario.r)
+    engine = NetworkedProtocolEngine(
+        topo,
+        scenario.params(),
+        seed=scenario.seed,
+        min_delay=scenario.min_delay,
+        max_delay=scenario.max_delay,
+        resilience=scenario.resilience,
+        obs=obs,
+        network_factory=factory,
+    )
+    if scenario.plan is not None:
+        engine.install_faults(scenario.plan)
+    try:
+        result = _drive(engine, scenario)
+    finally:
+        engine.network.close()
+    result["backend"] = backend
+    return result
+
+
+def compare_backends(
+    scenario: ClusterScenario,
+    peers: int | None = None,
+    config: TransportConfig | None = None,
+    obs: MetricsRegistry | None = None,
+) -> dict:
+    """The headline assertion: both backends commit the identical tip.
+
+    Launches a ``peers``-process localhost cluster (default 3), runs the
+    scenario on the simulator and on the real transport, and reports
+    both summaries plus the tip/height/clock comparison.
+    """
+    sim_result = run_scenario(scenario, backend="sim")
+    handle = launch_custodians(peers if peers is not None else 3)
+    try:
+        real_result = run_scenario(
+            scenario, backend="real", custodians=handle.addresses,
+            config=config, obs=obs,
+        )
+    finally:
+        handle.close()
+    return {
+        "sim": sim_result,
+        "real": real_result,
+        "tips_match": sim_result["tip"] == real_result["tip"]
+        and sim_result["height"] == real_result["height"]
+        and sim_result["clock"] == real_result["clock"],
+    }

@@ -226,6 +226,28 @@ class SyncNetwork:
         """Attach a node's message handler; overwrites any previous one."""
         self._handlers[node_id] = handler
 
+    # ``recv`` is the Transport-protocol name for handler registration
+    # (see repro.network.transport); ``register`` predates the protocol
+    # and stays as the primary spelling.
+    recv = register
+
+    def peers(self) -> tuple[str, ...]:
+        """Node ids with a registered handler, in registration order."""
+        return tuple(self._handlers)
+
+    def close(self) -> None:
+        """Release backend resources — nothing to do for pure simulation."""
+
+    def run_until(self, until: float) -> int:
+        """Advance the clock to ``until``, executing due deliveries.
+
+        The driver-side spelling of :meth:`Simulator.run` shared with
+        :class:`~repro.network.realnet.RealNetwork` (where advancing the
+        clock additionally waits for physical frame conveyance), so
+        harnesses drive either backend through one call.
+        """
+        return self.sim.run(until=until)
+
     def partition(self, node_id: str) -> None:
         """Crash-fault a node: messages to/from it are silently dropped.
 
@@ -344,6 +366,17 @@ class SyncNetwork:
                 lambda m=message: self._deliver(m),
                 label=f"deliver:{sender}->{receiver}",
             )
+            self._convey(message, size_hint)
+
+    def _convey(self, message: Message, size_hint: int) -> None:
+        """Hook: physically ship an admitted message (no-op in simulation).
+
+        :class:`~repro.network.realnet.RealNetwork` overrides this to
+        put the payload on a real socket; the base simulator delivers
+        purely from the event queue.  Called once per scheduled copy,
+        after all RNG draws for the copy — overriding it cannot perturb
+        the seeded delivery schedule.
+        """
 
     def _deliver(self, message: Message) -> None:
         """Hand a message to its receiver — unless it crashed in flight.

@@ -1,0 +1,57 @@
+"""The narrow transport protocol both network backends satisfy.
+
+:class:`Transport` is a thin :class:`~typing.Protocol` over the much
+richer network engines — the ``ExecutionEngineProtocol`` idiom: the
+protocol names only the surface the *callers* (engine, broadcast,
+reliable channel, shard drivers) actually touch, so a backend is free
+to be a discrete-event simulator, a socket stack, or anything else that
+can move a payload from one node id to another.
+
+Two implementations ship:
+
+* :class:`~repro.network.simnet.SyncNetwork` — seeded discrete-event
+  delivery on a :class:`~repro.network.simnet.Simulator` (tests,
+  audits, bit-identical reruns);
+* :class:`~repro.network.realnet.RealNetwork` — the same seeded
+  delivery schedule, with every admitted message additionally conveyed
+  over a real asyncio TCP socket to a custodian peer process before its
+  logical delivery may execute (wall-clock benchmarks, cluster
+  deployment, socket-level chaos).
+
+Both also expose ``run_until(t)`` — the driver-side clock advance —
+which is deliberately *not* part of the narrow protocol: protocol
+layers send and receive, only drivers advance time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+__all__ = ["Transport"]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What the protocol layers require of a network backend.
+
+    ``send`` admits one payload for delivery to ``receiver``; ``recv``
+    registers a node's delivery handler (called with a
+    :class:`~repro.network.simnet.Message`); ``peers`` lists the node
+    ids currently registered; ``close`` releases any real resources the
+    backend holds (sockets, threads — a no-op for pure simulation).
+    """
+
+    def send(
+        self,
+        sender: str,
+        receiver: str,
+        payload: Any,
+        size_hint: int = 1,
+        fixed_delay: float | None = None,
+    ) -> None: ...
+
+    def recv(self, node_id: str, handler: Callable[[Any], None]) -> None: ...
+
+    def peers(self) -> tuple[str, ...]: ...
+
+    def close(self) -> None: ...

@@ -16,9 +16,10 @@ same contract the in-process :class:`~repro.faults.FaultInjector` gives
 for simulated crashes, never a hung barrier.  With durable storage
 configured, :meth:`restart_worker` respawns the replacement from the
 same :class:`~repro.parallel.worker.WorkerInit`; its engines re-anchor
-from their on-disk checkpoints (crash semantics: the continuation is
-correct but not bit-identical, and installed fault plans are not
-re-applied).
+from their on-disk checkpoints and any fault plans installed on its
+shards are re-applied to the replacement (crash semantics: the
+continuation is correct but not bit-identical — the fresh injector
+replays its plan's RNG from the start).
 
 **Determinism.**  Workers advance private simulator clocks to the exact
 barrier targets the serial backend would use, and the driver preserves
@@ -178,6 +179,10 @@ class ParallelBackend:
             self._workers.append(_WorkerHandle(w, shards, init))
         # Per-worker accumulated compute seconds this super-round.
         self._round_wall = [0.0] * num_workers
+        #: shard index -> installed FaultPlan, so a respawned worker can
+        #: have its shards' plans re-applied (tamperers never cross the
+        #: process boundary, so a plan is the whole fault state).
+        self._fault_plans: dict[int, object] = {}
         for handle in self._workers:
             self._spawn(handle)
 
@@ -212,8 +217,10 @@ class ParallelBackend:
         :class:`WorkerInit`; with a :class:`~repro.storage.StorageConfig`
         per hosted shard the engines re-anchor to their checkpointed
         chains and resume committing.  Without storage there is nothing
-        to hand off, so the restart is refused.  Installed fault plans
-        are **not** re-applied to the replacement.
+        to hand off, so the restart is refused.  Fault plans previously
+        installed on the worker's shards are re-applied to the
+        replacement (fresh injectors, so each plan's RNG restarts from
+        its seed — the schedule stays seeded, not bit-continuous).
         """
         handle = self._workers[worker]
         missing = [k for k in handle.shards if self._storage[k] is None]
@@ -229,6 +236,14 @@ class ParallelBackend:
             handle.conn.close()
         handle.alive = False
         self._spawn(handle)
+        for shard in handle.shards:
+            plan = self._fault_plans.get(shard)
+            if plan is not None:
+                self._call(
+                    "install_faults",
+                    {handle.index: (shard, plan)},
+                    phase="install_faults",
+                )
         self._metrics["restarts"].inc()
 
     def close(self) -> None:
@@ -458,7 +473,13 @@ class ParallelBackend:
         self._call(
             "install_faults", {worker: (shard, plan)}, phase="install_faults"
         )
+        self._fault_plans[shard] = plan
         return None  # the injector lives (and stays) worker-side
+
+    def fault_stats(self) -> dict[int, object]:
+        """Per-shard worker-side injector stats (None where no plan)."""
+        merged = self._by_shard(self._call_all("fault_stats"))
+        return {k: merged[k] for k in range(self.num_shards)}
 
     def tip_hashes(self) -> list[str]:
         merged = self._by_shard(self._call_all("tips"))

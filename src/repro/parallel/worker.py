@@ -175,6 +175,13 @@ class _WorkerHost:
         shard, plan = payload
         self.engines[shard].install_faults(plan)
 
+    def op_fault_stats(self, _payload) -> dict[int, object]:
+        out: dict[int, object] = {}
+        for shard, engine in self.engines.items():
+            injector = getattr(engine, "injector", None)
+            out[shard] = None if injector is None else injector.stats
+        return out
+
     def op_tips(self, _payload) -> dict[int, str]:
         tips = {}
         for shard, engine in self.engines.items():

@@ -140,6 +140,59 @@ def test_restarted_node_keeps_committing(tmp_path):
     assert reopened.recovery_report.clean
 
 
+@pytest.mark.disk_chaos
+def test_restart_races_in_flight_checkpoint(tmp_path):
+    """A crash mid-checkpoint-write must degrade, not derail, recovery.
+
+    Two artefacts of the race are planted: the orphaned ``.json.tmp``
+    of a checkpoint that never reached its atomic rename, and a newest
+    checkpoint file torn mid-write.  Restart must ignore the former,
+    flag the latter as ``checkpoint-corrupt``, fall back to the
+    previous verified checkpoint, and still hand back a verified
+    prefix that rejoins to the reference tip cleanly.
+    """
+    reference, scenario = _run_reference()
+    ledger_dir = tmp_path / "ledger"
+    writer, workload, _ = build_durable_engine(
+        SCENARIO, seed=SEED, storage_dir=ledger_dir
+    )
+    for _ in range(scenario.rounds):
+        writer.run_round(workload.take(scenario.batch))
+    writer.finalize()
+    ckpts = sorted(ledger_dir.glob("checkpoint-*.json"))
+    assert len(ckpts) >= 2, "scenario too small to exercise the race"
+
+    (ledger_dir / "checkpoint-99999999.json.tmp").write_text(
+        '{"checkpoint": {"serial":'  # crash before os.replace
+    )
+    torn = ckpts[-1]
+    torn.write_bytes(torn.read_bytes()[: torn.stat().st_size // 2])
+
+    engine, _, _ = build_durable_engine(SCENARIO, seed=SEED, storage_dir=ledger_dir)
+    report = engine.recovery_report
+    assert report is not None
+    assert any(
+        bad.kind == "checkpoint-corrupt" and bad.target == torn.name
+        for bad in report.corruptions
+    ), report.corruptions
+    assert not any("tmp" in bad.target for bad in report.corruptions)
+    # Degraded to the previous *verified* checkpoint, not to garbage.
+    assert report.checkpoint is not None
+    assert report.checkpoint.serial == int(ckpts[-2].stem.split("-")[1])
+
+    # The recovered prefix is still a verified prefix of the reference.
+    assert engine.store.height <= reference.store.height
+    for block in report.blocks:
+        assert block.hash() == reference.store.retrieve(block.serial).hash()
+
+    engine.sync_from_peer(reference.store)
+    assert engine.store.height == reference.store.height
+    assert engine.store.tip_hash() == reference.store.tip_hash()
+    assert engine.harness_auditor.report.clean, (
+        engine.harness_auditor.report.violations
+    )
+
+
 def test_durable_scenarios_registered():
     assert SCENARIO in DURABLE_SCENARIOS
     assert DURABLE_SCENARIOS[SCENARIO].rounds >= 4

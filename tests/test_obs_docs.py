@@ -26,7 +26,7 @@ DOC = pathlib.Path(__file__).parent.parent / "OBSERVABILITY.md"
 
 #: Anything shaped like one of our metric names.
 _METRIC_TOKEN = re.compile(
-    r"\b(?:net|abcast|rel|gov|rep|engine|audit|byz|shard|storage|par)_[a-z0-9_]+\b"
+    r"\b(?:net|abcast|rel|gov|rep|engine|audit|byz|shard|storage|par|tpt)_[a-z0-9_]+\b"
 )
 
 
@@ -55,6 +55,11 @@ def registered() -> MetricsRegistry:
         seed=0,
         obs=reg,
     )
+    # The transport family registers lazily inside RealNetwork; use the
+    # fetch-or-register helper so no sockets are needed here.
+    from repro.network.realnet import transport_metrics
+
+    transport_metrics(reg)
     return reg
 
 

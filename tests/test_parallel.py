@@ -261,3 +261,49 @@ class TestCrashHandling:
             )
         finally:
             coordinator.close()
+
+    def test_restart_reapplies_installed_fault_plans(self, tmp_path):
+        storage = [
+            StorageConfig(
+                directory=tmp_path / f"shard-{k}",
+                checkpoint_interval=2,
+                fsync=False,
+            )
+            for k in range(2)
+        ]
+        coordinator, workload = build(
+            shards=2, workers=2, faults=True, storage=storage,
+            worker_timeout=30.0,
+        )
+        try:
+            for _ in range(2):
+                coordinator.submit(workload.take(32))
+                coordinator.run_super_round()
+            before = coordinator.backend.fault_stats()
+            assert all(s is not None for s in before.values())
+            victim = coordinator.backend._workers[0]
+            os.kill(victim.proc.pid, signal.SIGKILL)
+            victim.proc.join(timeout=10.0)
+            coordinator.submit(workload.take(32))
+            with pytest.raises(WorkerCrashError):
+                coordinator.run_super_round()
+            coordinator.restart_worker(0)
+            # The replacement got shard 0's plan back: a live injector is
+            # installed immediately after the respawn...
+            stats = coordinator.backend.fault_stats()
+            assert all(s is not None for s in stats.values())
+            restarted_seen = stats[0].messages_seen
+            for _ in range(3):
+                coordinator.submit(workload.take(32))
+                coordinator.run_super_round()
+            # ...and it keeps filtering traffic (the old behaviour ran the
+            # replacement fault-free, so seen/dropped stayed frozen).
+            after = coordinator.backend.fault_stats()
+            assert after[0].messages_seen > restarted_seen
+            assert after[0].dropped + after[0].duplicated > 0
+            report = coordinator.finalize()
+            assert not report.violations or all(
+                v.type.value != "receipt-replay" for v in report.violations
+            )
+        finally:
+            coordinator.close()

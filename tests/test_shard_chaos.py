@@ -101,6 +101,51 @@ class TestDuplicateReceiptDelivery:
         assert a.committed_total == b.committed_total
 
 
+class TestReceiptReplayRegression:
+    """Pin the PR-5 pack-time replay hole (found while verifying PR 7).
+
+    At S=4, seed=11, ``FaultPlan(seed=61+k)`` with loss=0.02/dup=0.05, a
+    duplicated relay arriving between one leader's pack and the block's
+    observation used to be re-buffered at the *next* round's leader —
+    whose ``_ingest_receipt`` dedup ran before ``_applied_receipt_ids``
+    learned the id — and committed twice (a ``receipt-replay`` auditor
+    violation). ``_receipt_records`` now re-checks the applied set at
+    pack time; this schedule reproduced the replay deterministically
+    before the fix.
+    """
+
+    def run_pinned(self):
+        sharded = Topology.sharded(l=16, n=8, m=8, r=2, shards=4)
+        coordinator = ShardCoordinator(sharded, PARAMS, seed=11, resilience=True)
+        for k in range(4):
+            coordinator.install_faults(
+                k,
+                FaultPlan(seed=61 + k).with_default_link(
+                    LinkFaultSpec(loss=0.02, duplicate=0.05)
+                ),
+            )
+        providers = [p for topo in sharded.shards for p in topo.providers]
+        inner = BernoulliWorkload(providers, p_valid=0.8, seed=12)
+        workload = CrossShardWorkload(
+            inner, sharded.provider_shard, p_cross=0.3, seed=13
+        )
+        for _ in range(6):
+            coordinator.submit(workload.take(48))
+            coordinator.run_super_round()
+        report = coordinator.finalize()
+        return coordinator, report
+
+    def test_pinned_seed_commits_each_receipt_once(self):
+        coordinator, report = self.run_pinned()
+        assert_exactly_once(coordinator, report)
+
+    def test_pinned_schedule_is_deterministic(self):
+        a, _ = self.run_pinned()
+        b, _ = self.run_pinned()
+        assert a.tip_hashes() == b.tip_hashes()
+        assert a.committed_total == b.committed_total
+
+
 class TestRelayRacesLeaderCrash:
     def test_remote_leader_crash_mid_relay(self):
         coordinator, workload = build(seed=7)

@@ -155,3 +155,73 @@ class TestLocalCorruptionRecovery:
         with pytest.raises(ChainIntegrityError):
             sync_replica(rebuilt, store)
         assert rebuilt.height == 2  # still only the bad anchor, nothing loaded
+
+
+class _CorruptingPeerStore(BlockStore):
+    """A peer whose transfer hands over a tampered block for one serial.
+
+    Models mid-transfer corruption (a wire bit-flip, a bad disk read on
+    the peer): the block arrives with the right serial but a broken
+    hash link.  ``poisoned`` counts how many retrievals of that serial
+    corrupt before the peer serves clean copies again; ``None`` poisons
+    forever (a persistently bad peer).
+    """
+
+    def __init__(self, corrupt_serial: int, poisoned: int | None = 1):
+        super().__init__()
+        self._corrupt_serial = corrupt_serial
+        self._poisoned = poisoned
+
+    def retrieve(self, serial: int) -> Block:
+        block = super().retrieve(serial)
+        if serial != self._corrupt_serial or self._poisoned == 0:
+            return block
+        if self._poisoned is not None:
+            self._poisoned -= 1
+        return Block(
+            serial=block.serial, tx_list=block.tx_list,
+            prev_hash=b"\x77" * 32, proposer=block.proposer,
+            round_number=block.round_number,
+        )
+
+
+class TestMidTransferCorruption:
+    """Satellite: catch-up retried against a peer that corrupts in flight.
+
+    The replica's own append checks are the integrity boundary: a
+    tampered block fails to link, the sync aborts at the good prefix,
+    and a retry resumes from ``height + 1`` — either against the healed
+    peer or against a different one.  Nothing corrupt is ever absorbed,
+    and no progress is lost.
+    """
+
+    def test_transient_corruption_retried_to_convergence(self):
+        peer = _CorruptingPeerStore(corrupt_serial=3, poisoned=1)
+        publish_chain(peer, 5)
+        replica = Ledger(owner="late")
+        with pytest.raises(ChainIntegrityError):
+            sync_replica(replica, peer)
+        # Aborted exactly at the good prefix: serials 1-2 kept, the
+        # tampered serial 3 rejected before it could take effect.
+        assert replica.height == 2
+        replica.verify_integrity()
+        # Retry once the corruption clears: resumes, not restarts.
+        assert sync_replica(replica, peer) == 3
+        assert verify_sync(replica, peer)
+        replica.verify_integrity()
+
+    def test_persistent_corruptor_never_absorbed_then_peer_switch(self):
+        bad_peer = _CorruptingPeerStore(corrupt_serial=3, poisoned=None)
+        blocks = publish_chain(bad_peer, 5)
+        good_peer = BlockStore()
+        for block in blocks:
+            good_peer.publish(block)
+        replica = Ledger(owner="late")
+        for _ in range(3):  # every retry fails identically, no creep
+            with pytest.raises(ChainIntegrityError):
+                sync_replica(replica, bad_peer)
+            assert replica.height == 2
+        # Operator gives up on the bad peer; an honest one finishes.
+        assert sync_replica(replica, good_peer) == 3
+        assert verify_sync(replica, good_peer)
+        replica.verify_integrity()

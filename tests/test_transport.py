@@ -1,0 +1,401 @@
+"""Transport backend tests: framing, robustness machinery, parity.
+
+Three layers, cheapest first:
+
+* pure-function framing tests (no sockets);
+* :class:`RealNetwork` against in-process :class:`NodeServer` peers —
+  conveyance, reconnect-with-backoff, send-deadline retransmission,
+  heartbeat suspicion, and the structured give-up
+  (:class:`PeerUnreachableError`, never a hang);
+* the headline parity gate — the identical seeded scenario committed
+  over the simulator and over real TCP (with and without logical fault
+  plans, and under socket-boundary chaos) produces bit-identical tips.
+
+The heavier socket tests carry the ``realnet`` marker so CI can run
+them as a dedicated job (``-m realnet``); all of them are budgeted to
+stay inside the tier-1 wall-clock envelope.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ConfigurationError, FrameError, PeerUnreachableError
+from repro.faults.plan import FaultPlan, LinkFaultSpec
+from repro.faults.proxy import start_proxy_thread
+from repro.network.cluster import ClusterScenario, run_scenario
+from repro.network.realnet import (
+    FRAME_HEADER,
+    KIND_ACK,
+    KIND_MSG,
+    MAX_FRAME_PAYLOAD,
+    FrameReader,
+    RealNetwork,
+    TransportConfig,
+    encode_frame,
+    start_server_thread,
+    transport_metrics,
+)
+from repro.network.simnet import Simulator, SyncNetwork
+from repro.network.transport import Transport
+from repro.obs.registry import MetricsRegistry
+
+#: Wall-clock-fast robustness knobs for the socket tests.
+FAST = TransportConfig(
+    connect_timeout=1.0,
+    connect_attempts=8,
+    backoff_base=0.01,
+    backoff_max=0.1,
+    send_deadline=0.25,
+    deadline_poll=0.02,
+    max_retries=16,
+    heartbeat_interval=0.2,
+    heartbeat_budget=3,
+    session_floor=0.02,
+    stall_timeout=15.0,
+)
+
+
+# -- framing -----------------------------------------------------------------
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        reader = FrameReader()
+        wire = encode_frame(7, KIND_MSG, b"hello") + encode_frame(8, KIND_ACK)
+        assert reader.feed(wire) == [(7, KIND_MSG, b"hello"), (8, KIND_ACK, b"")]
+
+    def test_incremental_feed(self):
+        reader = FrameReader()
+        wire = encode_frame(1, KIND_MSG, b"x" * 100)
+        out = []
+        for i in range(0, len(wire), 7):
+            out.extend(reader.feed(wire[i : i + 7]))
+        assert out == [(1, KIND_MSG, b"x" * 100)]
+
+    def test_crc_mismatch_raises(self):
+        wire = bytearray(encode_frame(1, KIND_MSG, b"payload"))
+        wire[-1] ^= 0xFF
+        with pytest.raises(FrameError, match="CRC"):
+            FrameReader().feed(bytes(wire))
+
+    def test_zero_length_raises(self):
+        header = FRAME_HEADER.pack(0, 0, 1)
+        with pytest.raises(FrameError, match="out of range"):
+            FrameReader().feed(header)
+
+    def test_oversize_refused_on_encode_and_decode(self):
+        with pytest.raises(FrameError):
+            encode_frame(1, KIND_MSG, b"x" * MAX_FRAME_PAYLOAD)
+        header = FRAME_HEADER.pack(MAX_FRAME_PAYLOAD + 1, 0, 1)
+        with pytest.raises(FrameError, match="out of range"):
+            FrameReader().feed(header)
+
+
+# -- protocol conformance ----------------------------------------------------
+
+
+class TestTransportProtocol:
+    def test_syncnetwork_satisfies_transport(self):
+        sim = Simulator(seed=0)
+        net = SyncNetwork(sim, seed=1)
+        assert isinstance(net, Transport)
+        net.recv("a", lambda *args: None)
+        assert net.peers() == ("a",)
+        net.close()  # no-op, part of the narrow surface
+
+    def test_realnetwork_requires_custodians(self):
+        with pytest.raises(ConfigurationError, match="custodian"):
+            RealNetwork(Simulator(seed=0))
+
+
+# -- real sockets: conveyance and robustness ---------------------------------
+
+
+def _twin_sends(net):
+    """Issue the same seeded traffic on any Transport; return the log."""
+    log = []
+    for node in ("a", "b", "c"):
+        net.recv(
+            node,
+            lambda msg, n=node: log.append(
+                (n, msg.sender, msg.payload, msg.deliver_at)
+            ),
+        )
+    for i in range(12):
+        net.send("a", ("b", "c")[i % 2], ("tx", i))
+    net.run_until(5.0)
+    return log
+
+
+def _blackhole():
+    """A TCP listener that accepts and reads but never answers."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(8)
+    sock.settimeout(0.05)
+    port = sock.getsockname()[1]
+    stop = threading.Event()
+
+    def run():
+        conns = []
+        while not stop.is_set():
+            try:
+                conn, _ = sock.accept()
+                conn.settimeout(0.05)
+                conns.append(conn)
+            except OSError:
+                pass
+            for conn in conns:
+                try:
+                    conn.recv(65536)
+                except OSError:
+                    pass
+        for conn in conns:
+            conn.close()
+        sock.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return port, stop, thread
+
+
+@pytest.mark.realnet
+class TestRealNetwork:
+    def test_conveyed_delivery_matches_simulator(self):
+        sim_log = _twin_sends(SyncNetwork(Simulator(seed=0), seed=1))
+        server, stop = start_server_thread()
+        reg = MetricsRegistry()
+        net = RealNetwork(
+            Simulator(seed=0),
+            seed=1,
+            custodians=(("p0", server.host, server.port),),
+            config=FAST,
+            obs=reg,
+        )
+        try:
+            assert isinstance(net, Transport)
+            real_log = _twin_sends(net)
+        finally:
+            net.close()
+            stop()
+        assert real_log == sim_log
+        assert server.frames_acked == len(real_log)
+        metrics = transport_metrics(reg)
+        assert metrics["frames"].value_of(direction="out") >= len(real_log)
+        assert metrics["bytes"].value_of(direction="in") > 0
+
+    def test_unreachable_peer_raises_structured_error(self):
+        # Bind-then-close guarantees nothing listens on the port.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        cfg = TransportConfig(
+            connect_timeout=0.5,
+            connect_attempts=3,
+            backoff_base=0.005,
+            backoff_max=0.02,
+            stall_timeout=5.0,
+        )
+        net = RealNetwork(
+            Simulator(seed=0),
+            seed=1,
+            custodians=(("ghost", "127.0.0.1", dead_port),),
+            config=cfg,
+        )
+        try:
+            net.recv("a", lambda *args: None)
+            net.send("a", "a", "doomed")
+            with pytest.raises(PeerUnreachableError) as excinfo:
+                net.run_until(5.0)
+        finally:
+            net.close()
+        assert excinfo.value.peer == "ghost"
+        assert excinfo.value.attempts == 3
+
+    def test_reconnect_after_peer_restart(self):
+        server, stop = start_server_thread()
+        port = server.port
+        reg = MetricsRegistry()
+        net = RealNetwork(
+            Simulator(seed=0),
+            seed=1,
+            custodians=(("p0", "127.0.0.1", port),),
+            config=FAST,
+            obs=reg,
+        )
+        stop2 = None
+        try:
+            net.recv("a", lambda *args: None)
+            net.recv("b", lambda *args: None)
+            net.send("a", "b", "before")
+            net.run_until(1.0)
+            stop()  # kill the peer...
+            time.sleep(0.05)
+            server2, stop2 = start_server_thread(port=port)  # ...and revive it
+            net.send("a", "b", "after")
+            net.run_until(2.0)
+            assert server2.frames_acked >= 1
+        finally:
+            net.close()
+            if stop2 is not None:
+                stop2()
+        metrics = transport_metrics(reg)
+        assert metrics["reconnects"].value_of(peer="p0") >= 1
+
+    def test_silent_peer_goes_suspect_via_heartbeats(self):
+        port, stop, thread = _blackhole()
+        reg = MetricsRegistry()
+        cfg = TransportConfig(
+            connect_attempts=4,
+            backoff_base=0.01,
+            backoff_max=0.05,
+            heartbeat_interval=0.05,
+            heartbeat_budget=2,
+            session_floor=0.01,
+            stall_timeout=5.0,
+        )
+        net = RealNetwork(
+            Simulator(seed=0),
+            seed=1,
+            custodians=(("mute", "127.0.0.1", port),),
+            config=cfg,
+            obs=reg,
+        )
+        metrics = transport_metrics(reg)
+        try:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if metrics["suspects"].value >= 1:
+                    break
+                time.sleep(0.02)
+        finally:
+            net.close()
+            stop.set()
+            thread.join(timeout=2.0)
+        assert metrics["suspects"].value >= 1
+        assert metrics["heartbeat_misses"].value_of(peer="mute") >= cfg.heartbeat_budget
+
+    def test_lossy_proxy_forces_deadline_retransmits(self):
+        server, stop = start_server_thread()
+        plan = FaultPlan(seed=97).with_default_link(LinkFaultSpec(loss=0.3))
+        proxy, pstop = start_proxy_thread("127.0.0.1", server.port, plan)
+        reg = MetricsRegistry()
+        net = RealNetwork(
+            Simulator(seed=0),
+            seed=1,
+            custodians=(("p0", "127.0.0.1", proxy.port),),
+            config=FAST,
+            obs=reg,
+        )
+        try:
+            log = _twin_sends(net)
+        finally:
+            net.close()
+            pstop()
+            stop()
+        # Every message still arrives, through retransmission.
+        assert len(log) == 12
+        assert proxy.frames_dropped > 0
+        metrics = transport_metrics(reg)
+        assert metrics["deadline_expiries"].value > 0
+        assert metrics["retransmits"].value > 0
+
+
+# -- parity: the same seeded scenario over both backends ---------------------
+
+SCENARIO = ClusterScenario(rounds=2, batch=8, seed=5)
+
+FAULTED = ClusterScenario(
+    rounds=2,
+    batch=8,
+    seed=5,
+    plan=FaultPlan(seed=71).with_default_link(
+        LinkFaultSpec(loss=0.02, duplicate=0.05)
+    ),
+)
+
+
+def _servers(count):
+    pairs = [start_server_thread() for _ in range(count)]
+    custodians = [
+        (f"peer-{i}", server.host, server.port)
+        for i, (server, _) in enumerate(pairs)
+    ]
+    def stop_all():
+        for _, stop in pairs:
+            stop()
+    return custodians, stop_all
+
+
+@pytest.mark.realnet
+class TestBackendParity:
+    @pytest.mark.parametrize("scenario", [SCENARIO, FAULTED], ids=["clean", "faulted"])
+    def test_identical_tip_over_real_sockets(self, scenario):
+        sim = run_scenario(scenario, backend="sim")
+        custodians, stop_all = _servers(2)
+        try:
+            real = run_scenario(
+                scenario, backend="real", custodians=custodians, config=FAST
+            )
+        finally:
+            stop_all()
+        assert real["tip"] == sim["tip"]
+        assert real["height"] == sim["height"]
+        assert real["clock"] == sim["clock"]
+        assert real["audit_clean"] and sim["audit_clean"]
+        assert real["violations"] == 0
+
+    def test_socket_chaos_commits_identical_tip(self):
+        """Loss+dup+reorder+partition at the wire; history unchanged.
+
+        The chaos plan lives at the *socket* boundary (proxies), so the
+        simulator run sees no faults at all — yet the real run must
+        commit the same tip: socket chaos may delay, never corrupt.
+        """
+        sim = run_scenario(SCENARIO, backend="sim")
+        custodians, stop_all = _servers(2)
+        chaos = (
+            FaultPlan(seed=31)
+            .with_default_link(
+                LinkFaultSpec(loss=0.05, duplicate=0.05, reorder=0.03)
+            )
+            .with_partition(("any",), start=0.4, end=0.9)
+        )
+        proxies = [
+            start_proxy_thread(host, port, chaos) for _, host, port in custodians
+        ]
+        proxied = [
+            (name, "127.0.0.1", proxy.port)
+            for (name, _, _), (proxy, _) in zip(custodians, proxies)
+        ]
+        reg = MetricsRegistry()
+        try:
+            real = run_scenario(
+                SCENARIO, backend="real", custodians=proxied,
+                config=FAST, obs=reg,
+            )
+        finally:
+            for _, pstop in proxies:
+                pstop()
+            stop_all()
+        assert real["tip"] == sim["tip"]
+        assert real["height"] == sim["height"]
+        assert real["audit_clean"]
+        assert real["violations"] == 0
+        # The robustness machinery actually fired: the partition window
+        # killed connections and the drivers reconnected with backoff.
+        dropped = sum(proxy.frames_dropped for proxy, _ in proxies)
+        killed = sum(proxy.connections_killed for proxy, _ in proxies)
+        metrics = transport_metrics(reg)
+        reconnects = sum(
+            metrics["reconnects"].value_of(peer=name) for name, _, _ in proxied
+        )
+        assert dropped > 0
+        assert killed > 0 or reconnects > 0
+        assert metrics["retransmits"].value > 0
