@@ -173,6 +173,54 @@ class Governor:
         }
         self._visible = frozenset(visible)
 
+    def register_topology_sparse(self, topology: Topology) -> None:
+        """Like :meth:`register_topology`, but with sparse default rows.
+
+        Same collectors, same member sets, same ``_linked`` map — only
+        the vector representation differs (default-row + overrides), so
+        every seeded run is bit-identical to the dense registration while
+        untouched members cost no memory.  Partial visibility is not
+        offered here; the sparse path serves the streaming/scale-mode
+        engines, which use the full view.
+        """
+        for collector in topology.collectors:
+            self.book.register_collector_sparse(
+                collector, topology.providers_of(collector)
+            )
+        self._linked = {
+            provider: tuple(topology.collectors_of(provider))
+            for provider in topology.providers
+        }
+        self._visible = frozenset(topology.collectors)
+
+    def register_streaming(self, collector_members: dict[str, object]) -> None:
+        """Streaming-population setup: sparse books, no materialized links.
+
+        ``collector_members`` maps collector id → a lazy membership view
+        (:class:`repro.streaming.universe.CollectorMembers`).  The
+        ``_linked`` map starts empty and is populated per provider by
+        :meth:`link_provider` as arrivals instantiate identities, so
+        governor memory is bounded by the *active* provider set.
+        """
+        for collector, members in collector_members.items():
+            self.book.register_collector_sparse(collector, members)
+        self._linked = {}
+        self._visible = frozenset(collector_members)
+
+    def link_provider(self, provider: str, collectors: tuple[str, ...]) -> None:
+        """Record a (lazily instantiated) provider's linked collector set."""
+        self._linked[provider] = tuple(c for c in collectors if c in self._visible)
+
+    def unlink_provider(self, provider: str) -> None:
+        """Forget a retired provider's linked set (frees active-set memory).
+
+        Reputation overrides for the provider stay in the sparse book —
+        membership is universe-based, so a late truth reveal after the
+        provider re-arrives (or even while retired) still finds its
+        weights; only the O(active) link map shrinks.
+        """
+        self._linked.pop(provider, None)
+
     def can_see(self, collector: str) -> bool:
         """Whether this governor receives the collector's uploads."""
         return collector in getattr(self, "_visible", frozenset())

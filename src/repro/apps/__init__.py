@@ -1,4 +1,10 @@
-"""Section-5 application domains: car-sharing and insurance."""
+"""Application domains: the Section-5 pair plus the streaming oracles.
+
+Car-sharing and insurance are the paper's own use cases (materialized
+populations on :class:`~repro.core.protocol.ProtocolEngine`); supply
+chain, energy and ticketing are streaming-population domains on
+:class:`~repro.streaming.session.StreamingSession`.
+"""
 
 from repro.apps.carsharing import (
     CarSharingMarket,
@@ -6,6 +12,7 @@ from repro.apps.carsharing import (
     MarketReport,
     RideRequest,
 )
+from repro.apps.energy import EnergyMarket, EnergyReport, EnergyTrade
 from repro.apps.insurance import (
     Application,
     CommissionBiasedAgent,
@@ -13,15 +20,30 @@ from repro.apps.insurance import (
     InsuranceAlliance,
     UnderwritingReport,
 )
+from repro.apps.supplychain import (
+    ProvenanceReport,
+    ShipmentRecord,
+    SupplyChainProvenance,
+)
+from repro.apps.ticketing import FlashSaleTicketing, TicketingReport, TicketOrder
 
 __all__ = [
     "Application",
     "CarSharingMarket",
     "CommissionBiasedAgent",
+    "EnergyMarket",
+    "EnergyReport",
+    "EnergyTrade",
+    "FlashSaleTicketing",
     "GreedyDispatcher",
     "HealthRecord",
     "InsuranceAlliance",
     "MarketReport",
+    "ProvenanceReport",
     "RideRequest",
+    "ShipmentRecord",
+    "SupplyChainProvenance",
+    "TicketOrder",
+    "TicketingReport",
     "UnderwritingReport",
 ]

@@ -161,6 +161,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     recover.add_argument("--dir", required=True)
 
+    from repro.streaming.scenarios import stream_scenario_names
+
+    stream = sub.add_parser(
+        "stream", help="run a streaming-population preset (virtual providers)"
+    )
+    stream.add_argument("--preset", choices=stream_scenario_names(),
+                        default="stream-smoke")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--rounds", type=int, default=None,
+                        help="override the preset's round count")
+    stream.add_argument("--universe", type=int, default=None,
+                        help="override the registered (virtual) population")
+
     serve = sub.add_parser(
         "serve",
         help="run a custodian peer: validate and ack conveyed frames "
@@ -389,6 +402,33 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from dataclasses import asdict, is_dataclass
+
+    from repro.obs.registry import MetricsRegistry
+    from repro.streaming.scenarios import build_streaming_session
+
+    obs = MetricsRegistry()
+    runner, scenario = build_streaming_session(
+        args.preset, seed=args.seed, universe=args.universe, obs=obs
+    )
+    rounds = args.rounds if args.rounds is not None else scenario.rounds
+    size = args.universe if args.universe is not None else scenario.universe
+    print(f"stream scenario: {scenario.name} — {scenario.description}")
+    print(f"universe: {size} virtual providers, {rounds} rounds")
+    runner.run(rounds)
+    report = runner.report()
+    items = asdict(report) if is_dataclass(report) else dict(report)
+    width = max(len(k) for k in items)
+    for key, value in items.items():
+        print(f"  {key:<{width}}  {value}")
+    session = runner.session
+    print(f"touched reputation rows: {session.touched_rows()} "
+          f"(universe x collectors = {size * len(session.collectors)})")
+    clean = bool(items.get("audit_clean", True))
+    return 0 if clean else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -418,6 +458,7 @@ _COMMANDS = {
     "shard": _cmd_shard,
     "durable": _cmd_durable,
     "recover": _cmd_recover,
+    "stream": _cmd_stream,
     "serve": _cmd_serve,
 }
 

@@ -83,7 +83,11 @@ from repro.core.params import ProtocolParams
 from repro.core.rewards import distribute_rewards
 from repro.crypto.identity import IdentityManager, Role
 from repro.crypto.signatures import sign
-from repro.exceptions import ConfigurationError, SimulationError
+from repro.exceptions import (
+    ConfigurationError,
+    ProtocolViolationError,
+    SimulationError,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.ledger.block import Block
@@ -259,6 +263,10 @@ class NetworkedProtocolEngine:
                 book_digest_fn=lambda: reputation_digest(
                     {gid: gov.book for gid, gov in self.governors.items()}
                 ),
+                book_state_fn=lambda: {
+                    gid: gov.book.export_state()
+                    for gid, gov in self.governors.items()
+                },
             )
         else:
             self.store = BlockStore()
@@ -430,6 +438,7 @@ class NetworkedProtocolEngine:
                 if self.store.height > base
                 else base
             )
+            self._restore_books_from_checkpoint()
 
         initial_stake = dict(stake) if stake else {g: 1 for g in topology.governors}
         self.stake = StakeLedger.from_balances(initial_stake)
@@ -468,6 +477,38 @@ class NetworkedProtocolEngine:
 
         # Per-governor Δ timers: (gid, tx_id) -> scheduled (once).
         self._timers_started: set[tuple[str, str]] = set()
+
+    def _restore_books_from_checkpoint(self) -> None:
+        """Re-seed reputation books from the recovered checkpoint payload.
+
+        The checkpoint carries the sparse book state pinned by its
+        ``book_digest``; restoring it means a restarted node resumes with
+        the reputation it had at checkpoint time instead of re-learning
+        from scratch.  The digest is re-verified after the restore — on
+        any mismatch (tampered payload, books from a different topology)
+        the restore is rolled back to pristine initial books and the
+        divergence is surfaced as a storage corruption metric.
+        """
+        report = self.recovery_report
+        ckpt = report.checkpoint if report is not None else None
+        if ckpt is None or ckpt.book_state is None:
+            return
+        pristine = {gid: gov.book.export_state() for gid, gov in self.governors.items()}
+        try:
+            for gid, gov in self.governors.items():
+                state = ckpt.book_state.get(gid)
+                if state is None:
+                    raise KeyError(gid)
+                gov.book.restore_state(state)
+            digest = reputation_digest(
+                {gid: gov.book for gid, gov in self.governors.items()}
+            )
+            if ckpt.book_digest and digest != ckpt.book_digest:
+                raise ValueError("restored books do not match the pinned digest")
+        except (KeyError, ValueError, TypeError, ProtocolViolationError):
+            for gid, gov in self.governors.items():
+                gov.book.restore_state(pristine[gid])
+            self._m_storage["corruptions"].labels(kind="book-state-mismatch").inc()
 
     # -- handlers ---------------------------------------------------------
 

@@ -135,12 +135,18 @@ class ProtocolEngine:
         visibility: VisibilityMap | None = None,
         abusive_providers: Mapping[str, float] | None = None,
         obs: MetricsRegistry | None = None,
+        sparse_reputation: bool = False,
     ):
         self.topology = topology
         self.params = params
         self.seed = seed
         self.leader_rotation = leader_rotation
+        self.sparse_reputation = sparse_reputation
         self.visibility = visibility
+        if sparse_reputation and visibility is not None:
+            raise ConfigurationError(
+                "sparse_reputation does not support partial visibility"
+            )
         if visibility is not None:
             visibility.validate(topology)
         self.obs = obs if obs is not None else NULL_REGISTRY
@@ -222,10 +228,17 @@ class ProtocolEngine:
                 rng=np.random.default_rng(self._master.integers(2**63)),
                 obs=self.obs,
             )
-            gov.register_topology(
-                topology,
-                None if visibility is None else visibility.collectors_for(gid),
-            )
+            if sparse_reputation:
+                # Value-for-value the same registration (default rows at
+                # initial reputation, identical member order), so seeded
+                # runs are bit-identical to the dense path — locked by
+                # tests/test_streaming.py's equivalence suite.
+                gov.register_topology_sparse(topology)
+            else:
+                gov.register_topology(
+                    topology,
+                    None if visibility is None else visibility.collectors_for(gid),
+                )
             self.governors[gid] = gov
 
         initial_stake = dict(stake) if stake else {g: 1 for g in topology.governors}

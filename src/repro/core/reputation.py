@@ -21,6 +21,7 @@ Each governor ``g_j`` keeps, for each collector ``c_i``, an
 from __future__ import annotations
 
 import math
+from collections.abc import MutableMapping
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
@@ -30,7 +31,7 @@ from repro import perf
 from repro.exceptions import ConfigurationError, ProtocolViolationError
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
-__all__ = ["ReputationVector", "ReputationBook", "WeightRow"]
+__all__ = ["ReputationVector", "ReputationBook", "SparseWeightMap", "WeightRow"]
 
 #: Reputations are clamped above this floor so that a collector that was
 #: wrong many times keeps a representable (if negligible) weight; the
@@ -96,6 +97,95 @@ class _VersionedDict(dict):
         self._bump()
 
 
+class SparseWeightMap(MutableMapping):
+    """Default-row + touched-overrides provider→weight map.
+
+    The dense representation (one dict entry per overseen provider, as
+    :meth:`ReputationVector.fresh` builds) costs memory proportional to
+    the collector's whole membership; with a streaming universe of
+    10^5–10^6 registered providers that is the scaling wall.  This map
+    stores only the entries Algorithm 3 has actually *touched*
+    (``overrides``) on top of a shared ``default`` weight, against a
+    ``members`` view that answers containment/iteration/length without
+    materializing the population (see
+    :class:`repro.streaming.universe.CollectorMembers`).
+
+    Semantics are exactly those of the dense dict:
+
+    * lookup of an untouched member returns ``default``; a non-member
+      raises ``KeyError`` (:meth:`ReputationVector.weight` converts that
+      to the protocol violation);
+    * iteration yields the members in their canonical registration
+      order — the same order a dense book inserts them in — so every
+      order-sensitive float reduction (``sum(values())``, digests) is
+      bit-identical to the dense path;
+    * every mutation bumps the owning vector's ``_version`` exactly like
+      :class:`_VersionedDict`, so the book-level row cache invalidates
+      identically.
+    """
+
+    __slots__ = ("members", "default", "overrides", "owner")
+
+    def __init__(self, members, default: float, overrides=None, owner=None):
+        if default <= 0:
+            raise ConfigurationError(
+                f"default reputation must be positive, got {default}"
+            )
+        self.members = members
+        self.default = float(default)
+        self.overrides: dict[str, float] = dict(overrides or {})
+        self.owner = owner
+
+    def _bump(self) -> None:
+        if self.owner is not None:
+            self.owner._version += 1
+
+    def __getitem__(self, key):
+        value = self.overrides.get(key)
+        if value is not None:
+            return value
+        if key in self.members:
+            return self.default
+        raise KeyError(key)
+
+    def __setitem__(self, key, value):
+        self.overrides[key] = value
+        self._bump()
+
+    def __delitem__(self, key):
+        # Deleting resets the entry to the default row (the member itself
+        # cannot be removed from a membership view).
+        del self.overrides[key]
+        self._bump()
+
+    def __contains__(self, key):
+        return key in self.overrides or key in self.members
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def __len__(self):
+        return len(self.members)
+
+    @property
+    def touched(self) -> int:
+        """How many entries deviate from the default row (memory cost)."""
+        return len(self.overrides)
+
+    def mass(self) -> float:
+        """Total weight over all members in O(touched).
+
+        Computed as ``default * untouched + sum(overrides)`` — the same
+        value as ``sum(self.values())`` up to float summation order, in
+        time and memory independent of the universe size.  Streaming
+        telemetry uses this; bit-identical paths (screening rows,
+        digests) still reduce in canonical member order.
+        """
+        return self.default * (len(self.members) - len(self.overrides)) + sum(
+            self.overrides.values()
+        )
+
+
 @dataclass(slots=True)
 class WeightRow:
     """A contiguous snapshot of collector weights w.r.t. one provider.
@@ -138,9 +228,12 @@ class ReputationVector:
 
     def __post_init__(self) -> None:
         # Version counter consulted by ReputationBook's row cache; bumped
-        # by every provider_weights mutation via _VersionedDict.
+        # by every provider_weights mutation via _VersionedDict or
+        # SparseWeightMap.
         self._version = 0
-        if not (
+        if isinstance(self.provider_weights, SparseWeightMap):
+            self.provider_weights.owner = self
+        elif not (
             isinstance(self.provider_weights, _VersionedDict)
             and self.provider_weights.owner is self
         ):
@@ -228,6 +321,25 @@ class ReputationBook:
                 f"collector {collector!r} already registered with {self.governor!r}"
             )
         self._vectors[collector] = ReputationVector.fresh(providers, self.initial)
+
+    def register_collector_sparse(self, collector: str, members) -> None:
+        """Register a collector over a *virtual* membership view.
+
+        ``members`` only needs ``__contains__`` / ``__iter__`` /
+        ``__len__`` (see :class:`repro.streaming.universe.CollectorMembers`);
+        the vector starts as a pure default row, so registering a
+        collector overseeing 10^6 providers costs O(1) memory and the
+        book grows with the entries Algorithm 3 actually touches.
+        Value-for-value this is exactly :meth:`register_collector` — at
+        small N the two paths are bit-identical.
+        """
+        if collector in self._vectors:
+            raise ProtocolViolationError(
+                f"collector {collector!r} already registered with {self.governor!r}"
+            )
+        self._vectors[collector] = ReputationVector(
+            provider_weights=SparseWeightMap(members, self.initial)
+        )
 
     def vector(self, collector: str) -> ReputationVector:
         """The full vector for ``collector``.
@@ -424,3 +536,58 @@ class ReputationBook:
                 weight = min(incumbents)
             weights[provider] = max(weight, WEIGHT_FLOOR)
         self._vectors[collector] = ReputationVector(provider_weights=weights)
+
+    # -- durable state (checkpoint persistence) ---------------------------
+
+    def export_state(self) -> dict:
+        """JSON-safe sparse row payload for checkpoint pinning.
+
+        Dense vectors are encoded sparsely too — entries still at the
+        registration default are elided — so the payload size tracks the
+        number of *touched* rows regardless of representation.  Floats
+        survive the JSON round trip exactly (``repr`` round-trips), so a
+        restored book is weight-for-weight identical.
+        """
+        collectors: dict[str, dict] = {}
+        for cid, vec in self._vectors.items():
+            pw = vec.provider_weights
+            if isinstance(pw, SparseWeightMap):
+                default = pw.default
+                overrides = dict(pw.overrides)
+            else:
+                default = self.initial
+                overrides = {p: w for p, w in pw.items() if w != default}
+            collectors[cid] = {
+                "default": default,
+                "overrides": overrides,
+                "misreport": vec.misreport,
+                "forge": vec.forge,
+            }
+        return {"initial": self.initial, "collectors": collectors}
+
+    def restore_state(self, state: Mapping) -> None:
+        """Overwrite registered vectors from an :meth:`export_state` payload.
+
+        Collectors must already be registered (the engine rebuilds the
+        topology before restoring); entries absent from the payload's
+        overrides keep their registration default, which is exactly the
+        elision rule :meth:`export_state` applied.
+
+        Raises:
+            ProtocolViolationError: the payload names an unregistered
+                collector.
+        """
+        for cid, row in state.get("collectors", {}).items():
+            vec = self.vector(cid)
+            overrides = row.get("overrides", {})
+            pw = vec.provider_weights
+            if isinstance(pw, SparseWeightMap):
+                pw.overrides = dict(overrides)
+                pw.default = float(row.get("default", self.initial))
+                pw._bump()
+            else:
+                default = float(row.get("default", self.initial))
+                for provider in pw:
+                    pw[provider] = overrides.get(provider, default)
+            vec.misreport = int(row.get("misreport", 0))
+            vec.forge = int(row.get("forge", 0))

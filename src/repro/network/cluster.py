@@ -64,6 +64,13 @@ class ClusterScenario:
     #: Logical fault plan (installed via the engine's FaultInjector) —
     #: applied identically on both backends, part of the seeded schedule.
     plan: FaultPlan | None = None
+    #: Optional collector-behaviour map (collector id -> behaviour),
+    #: applied identically on both backends.
+    behaviors: dict | None = None
+    #: Optional workload hook: ``(scenario, topology) -> (round -> specs)``.
+    #: Seeded inside the factory, so both backends replay the identical
+    #: stream; ``None`` keeps the historical Bernoulli workload.
+    workload_factory: Callable | None = None
 
     def params(self) -> ProtocolParams:
         return ProtocolParams(f=0.5, delta=max(0.2, 2 * self.max_delay), b_limit=64)
@@ -143,13 +150,20 @@ def _drive(engine: NetworkedProtocolEngine, scenario: ClusterScenario) -> dict:
     byte-identical across them.
     """
     network = engine.network
-    workload = BernoulliWorkload(
-        engine.topology.providers, p_valid=scenario.p_valid,
-        seed=scenario.seed + 1,
-    )
+    if scenario.workload_factory is not None:
+        next_batch = scenario.workload_factory(scenario, engine.topology)
+    else:
+        workload = BernoulliWorkload(
+            engine.topology.providers, p_valid=scenario.p_valid,
+            seed=scenario.seed + 1,
+        )
+
+        def next_batch(rnd: int) -> list:
+            return workload.take(scenario.batch)
+
     committed = 0
-    for _ in range(scenario.rounds):
-        ctx = engine.begin_round(workload.take(scenario.batch))
+    for rnd in range(1, scenario.rounds + 1):
+        ctx = engine.begin_round(next_batch(rnd))
         network.run_until(ctx.drain_until)
         network.run_until(engine.begin_argue(ctx))
         result = engine.complete_round(ctx)
@@ -202,6 +216,7 @@ def run_scenario(
         topo,
         scenario.params(),
         seed=scenario.seed,
+        behaviors=dict(scenario.behaviors) if scenario.behaviors else None,
         min_delay=scenario.min_delay,
         max_delay=scenario.max_delay,
         resilience=scenario.resilience,

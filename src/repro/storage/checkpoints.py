@@ -59,6 +59,10 @@ class Checkpoint:
     window_hashes: tuple[bytes, ...]  #: block hashes window_start+1 .. serial
     prev_root: bytes  #: previous checkpoint's rolling root (EMPTY_ROOT for the first)
     root: bytes  #: merkle(prev_root, *window_hashes)
+    #: Optional sparse reputation payload (gid -> ReputationBook.export_state()).
+    #: When present, a restarted node restores the books directly instead of
+    #: recomputing them; the digest above still guards integrity.
+    book_state: Mapping[str, object] | None = None
 
     @staticmethod
     def compute_root(prev_root: bytes, window_hashes: Iterable[bytes]) -> bytes:
@@ -112,6 +116,10 @@ def write_checkpoint(
         "prev_root": ckpt.prev_root.hex(),
         "root": ckpt.root.hex(),
     }
+    if ckpt.book_state is not None:
+        # Sparse payload: rows equal to the default are elided at export
+        # time, so size tracks touched rows, not the registered universe.
+        body["book_state"] = ckpt.book_state
     encoded = json.dumps(body, sort_keys=True, separators=(",", ":"))
     doc = {"checkpoint": body, "crc": zlib.crc32(encoded.encode())}
     path = checkpoint_path(directory, ckpt.serial)
@@ -144,6 +152,7 @@ def _load_one(path: Path) -> Checkpoint:
         window_hashes=tuple(bytes.fromhex(h) for h in body["window_hashes"]),
         prev_root=bytes.fromhex(body["prev_root"]),
         root=bytes.fromhex(body["root"]),
+        book_state=body.get("book_state"),
     )
     if not ckpt.verify():
         raise ValueError("checkpoint Merkle root does not match its window")

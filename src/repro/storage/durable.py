@@ -114,11 +114,13 @@ class DurableBlockStore(BlockStore):
         *,
         obs: MetricsRegistry | None = None,
         book_digest_fn: Callable[[], bytes] | None = None,
+        book_state_fn: Callable[[], dict] | None = None,
     ) -> None:
         super().__init__()
         self.config = config
         self.obs = obs if obs is not None else NULL_REGISTRY
         self.book_digest_fn = book_digest_fn
+        self.book_state_fn = book_state_fn
         self._metrics = storage_metrics(self.obs)
         self._log = SegmentLog(
             config.directory,
@@ -167,6 +169,7 @@ class DurableBlockStore(BlockStore):
 
     def _write_checkpoint(self) -> None:
         digest = self.book_digest_fn() if self.book_digest_fn is not None else b""
+        state = self.book_state_fn() if self.book_state_fn is not None else None
         ckpt = Checkpoint(
             serial=self.height,
             tip_hash=self.tip_hash(),
@@ -175,6 +178,7 @@ class DurableBlockStore(BlockStore):
             window_hashes=tuple(self._window),
             prev_root=self._prev_root,
             root=Checkpoint.compute_root(self._prev_root, self._window),
+            book_state=state,
         )
         write_checkpoint(
             self.config.directory,
@@ -218,6 +222,7 @@ def open_durable_store(
     *,
     obs: MetricsRegistry | None = None,
     book_digest_fn: Callable[[], bytes] | None = None,
+    book_state_fn: Callable[[], dict] | None = None,
 ) -> tuple[DurableBlockStore, RecoveryReport]:
     """Recover ``config.directory`` and open a durable store on it.
 
@@ -227,6 +232,11 @@ def open_durable_store(
     """
     report = recover(config.directory)
     apply_truncation(config.directory, report)
-    store = DurableBlockStore(config, obs=obs, book_digest_fn=book_digest_fn)
+    store = DurableBlockStore(
+        config,
+        obs=obs,
+        book_digest_fn=book_digest_fn,
+        book_state_fn=book_state_fn,
+    )
     store._adopt_recovery(report)
     return store, report

@@ -1,0 +1,213 @@
+"""Open-loop streaming workload over a virtual provider population.
+
+:class:`StreamingWorkload` emits the same :class:`TxSpec` stream the
+materialized generators in :mod:`repro.workloads.generator` would — the
+validity models (``bernoulli`` / ``per_provider`` / ``bursty``) draw
+from the identical main RNG stream in the identical order — but the
+provider population is a :class:`~repro.streaming.universe.VirtualUniverse`:
+nothing is allocated per provider until a transaction actually names
+one.  The three auxiliary streams a streaming run needs (lazy
+per-provider validity rates, uniform provider selection, domain payload
+enrichment) are derived via tagged ``SeedSequence`` spawns so they never
+perturb the validity stream — which is what makes the round-robin
+small-N stream *bit-identical* to the materialized generators
+(satellite property test in ``tests/test_streaming.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.network.topology import provider_id
+from repro.streaming.universe import VirtualUniverse
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.generator import TxSpec
+
+__all__ = ["StreamingWorkload", "provider_rate", "derived_rates"]
+
+#: Stream tags for the auxiliary RNGs (``SeedSequence([seed, TAG, ...])``).
+#: Frozen constants — changing one changes every seeded streaming run.
+_RATE_TAG = 0x53545231  # "STR1": lazy per-provider Beta validity rates
+_SELECT_TAG = 0x53545232  # "STR2": uniform provider selection
+_DOMAIN_TAG = 0x53545233  # "STR3": domain-oracle payload enrichment
+
+VALIDITY_MODELS = ("bernoulli", "per_provider", "bursty")
+SELECTION_MODES = ("round_robin", "uniform")
+
+
+def provider_rate(
+    seed: int, index: int, alpha: float = 8.0, beta: float = 2.0
+) -> float:
+    """Provider ``index``'s validity rate ~ Beta(alpha, beta), lazily.
+
+    Keyed by ``(seed, RATE_TAG, index)`` so the rate of provider k is the
+    same whether it is the first or the millionth to arrive — no up-front
+    Beta sweep over the universe, and no coupling to the validity stream.
+    """
+    rng = np.random.default_rng(np.random.SeedSequence([seed, _RATE_TAG, index]))
+    return float(rng.beta(alpha, beta))
+
+
+def derived_rates(
+    providers, seed: int, alpha: float = 8.0, beta: float = 2.0
+) -> dict[str, float]:
+    """Materialized rate dict matching :func:`provider_rate` per id.
+
+    Feed this to ``PerProviderWorkload(rates=...)`` to get a dense
+    generator whose validity stream is bit-identical to the streaming
+    ``per_provider`` model (the equivalence tests do exactly that).
+    """
+    from repro.streaming.universe import parse_provider_index
+
+    rates = {}
+    for pid in providers:
+        k = parse_provider_index(pid)
+        if k is None:
+            raise ConfigurationError(f"non-canonical provider id {pid!r}")
+        rates[pid] = provider_rate(seed, k, alpha, beta)
+    return rates
+
+
+class StreamingWorkload:
+    """Lazy seeded :class:`TxSpec` stream over a virtual universe.
+
+    Args:
+        universe: The virtual population and its link structure.
+        arrivals: Per-round offered-load process (:meth:`for_round`);
+            optional when the caller drives :meth:`take` directly.
+        validity: One of ``bernoulli`` / ``per_provider`` / ``bursty`` —
+            semantics identical to the materialized generator of the
+            same name.
+        selection: ``round_robin`` walks provider indices in order
+            (exactly the materialized base class' pick, which is what
+            the equivalence property quantifies over); ``uniform`` draws
+            indices from a dedicated selection stream, the realistic
+            open-population model.
+        seed: Seeds the main validity stream (same role as the
+            materialized generators' ``seed``) and, via stream tags, the
+            auxiliary streams.
+        spec_hook: Optional ``(spec, index, rng) -> TxSpec`` transform a
+            domain oracle uses to enrich payloads / set counterparties;
+            it receives the dedicated domain RNG, so the validity stream
+            is untouched by however much randomness the domain consumes.
+    """
+
+    def __init__(
+        self,
+        universe: VirtualUniverse,
+        arrivals: ArrivalProcess | None = None,
+        validity: str = "bernoulli",
+        selection: str = "round_robin",
+        seed: int = 0,
+        p_valid: float = 0.5,
+        alpha: float = 8.0,
+        beta: float = 2.0,
+        p_good: float = 0.95,
+        p_bad: float = 0.2,
+        stay: float = 0.98,
+        spec_hook: Callable[[TxSpec, int, np.random.Generator], TxSpec] | None = None,
+    ):
+        if validity not in VALIDITY_MODELS:
+            raise ConfigurationError(
+                f"unknown validity model {validity!r}; choose from {VALIDITY_MODELS}"
+            )
+        if selection not in SELECTION_MODES:
+            raise ConfigurationError(
+                f"unknown selection mode {selection!r}; choose from {SELECTION_MODES}"
+            )
+        for name, p in (
+            ("p_valid", p_valid),
+            ("p_good", p_good),
+            ("p_bad", p_bad),
+            ("stay", stay),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {p}")
+        if alpha <= 0 or beta <= 0:
+            raise ConfigurationError("Beta distribution parameters must be positive")
+        self.universe = universe
+        self.arrivals = arrivals
+        self.validity = validity
+        self.selection = selection
+        self.seed = seed
+        self.p_valid = p_valid
+        self.alpha = alpha
+        self.beta = beta
+        self._regimes = ((p_good, stay), (p_bad, stay))
+        self._state = 0
+        self.spec_hook = spec_hook
+        # Main validity stream: the exact counterpart of the materialized
+        # generators' self.rng.
+        self.rng = np.random.default_rng(seed)
+        self._select_rng = np.random.default_rng(
+            np.random.SeedSequence([seed, _SELECT_TAG])
+        )
+        self._domain_rng = np.random.default_rng(
+            np.random.SeedSequence([seed, _DOMAIN_TAG])
+        )
+        self._rates: dict[int, float] = {}
+        self._count = 0
+
+    # -- stream mechanics -------------------------------------------------
+
+    def _next_index(self) -> int:
+        if self.selection == "round_robin":
+            return self._count % self.universe.universe
+        return int(self._select_rng.integers(self.universe.universe))
+
+    def _rate(self, k: int) -> float:
+        rate = self._rates.get(k)
+        if rate is None:
+            rate = provider_rate(self.seed, k, self.alpha, self.beta)
+            self._rates[k] = rate
+        return rate
+
+    def _validity_draw(self, k: int) -> bool:
+        if self.validity == "bernoulli":
+            return bool(self.rng.random() < self.p_valid)
+        if self.validity == "per_provider":
+            return bool(self.rng.random() < self._rate(k))
+        # bursty: one switch draw, then one validity draw — the same two
+        # main-stream draws in the same order as BurstyWorkload._validity.
+        p_valid, stay = self._regimes[self._state]
+        if self.rng.random() >= stay:
+            self._state = 1 - self._state
+            p_valid, stay = self._regimes[self._state]
+        return bool(self.rng.random() < p_valid)
+
+    def _one(self) -> TxSpec:
+        k = self._next_index()
+        provider = provider_id(k)
+        spec = TxSpec(
+            provider=provider,
+            payload={"seq": self._count, "from": provider},
+            is_valid=self._validity_draw(k),
+        )
+        if self.spec_hook is not None:
+            spec = self.spec_hook(spec, self._count, self._domain_rng)
+        self._count += 1
+        return spec
+
+    def take(self, n: int) -> list[TxSpec]:
+        """The next ``n`` transactions."""
+        return [self._one() for _ in range(n)]
+
+    def for_round(self, round_number: int) -> list[TxSpec]:
+        """One round's arrivals: ``arrivals.count_for_round`` then take.
+
+        Raises:
+            ConfigurationError: no arrival process was configured.
+        """
+        if self.arrivals is None:
+            raise ConfigurationError(
+                "for_round() needs an arrival process; pass arrivals= or use take()"
+            )
+        return self.take(self.arrivals.count_for_round(round_number))
+
+    @property
+    def emitted(self) -> int:
+        """Transactions emitted so far."""
+        return self._count

@@ -126,3 +126,25 @@ class TestDurableCommand:
     def test_unknown_preset_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["durable", "--preset", "nope", "--dir", "x"])
+
+
+class TestStreamCommand:
+    def test_stream_smoke(self, capsys):
+        code = main(["stream", "--preset", "stream-smoke", "--rounds", "4",
+                     "--universe", "2000", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "stream scenario: stream-smoke" in out
+        assert "2000 virtual providers, 4 rounds" in out
+        assert "touched reputation rows:" in out
+
+    def test_stream_domain_preset(self, capsys):
+        code = main(["stream", "--preset", "flash-sale", "--rounds", "4",
+                     "--universe", "2000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cartel_suppressions" in out
+
+    def test_unknown_stream_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--preset", "nope"])

@@ -26,7 +26,7 @@ DOC = pathlib.Path(__file__).parent.parent / "OBSERVABILITY.md"
 
 #: Anything shaped like one of our metric names.
 _METRIC_TOKEN = re.compile(
-    r"\b(?:net|abcast|rel|gov|rep|engine|audit|byz|shard|storage|par|tpt)_[a-z0-9_]+\b"
+    r"\b(?:net|abcast|rel|gov|rep|engine|audit|byz|shard|storage|par|tpt|stream)_[a-z0-9_]+\b"
 )
 
 
@@ -60,6 +60,10 @@ def registered() -> MetricsRegistry:
     from repro.network.realnet import transport_metrics
 
     transport_metrics(reg)
+    # The streaming family likewise exposes a fetch-or-register helper.
+    from repro.streaming import stream_metrics
+
+    stream_metrics(reg)
     return reg
 
 

@@ -1,0 +1,624 @@
+"""Streaming subsystem: sparse reputation, virtual universe, sessions.
+
+The load-bearing claims, each locked by a test class here:
+
+* ``SparseWeightMap`` is a drop-in ``MutableMapping`` row store whose
+  iteration order (canonical registration order) makes every float
+  reduction bit-identical to the dense ``_VersionedDict`` path;
+* ``CollectorMembers`` answers membership queries for the circulant
+  topology in O(1) memory, agreeing exactly with ``Topology.regular``;
+* ``ProtocolEngine(sparse_reputation=True)`` commits bit-identical
+  ledgers and books to the dense engine for every seeded small-N
+  scenario (the ISSUE's equivalence suite);
+* ``StreamingWorkload`` with round-robin selection emits the identical
+  ``TxSpec`` stream as the materialized generators for N <= 64 across
+  all three validity models (satellite property test);
+* ``StreamingSession`` instantiates on arrival, retires on idleness,
+  and keeps signing continuity across retire/re-arrive cycles;
+* durable checkpoints carry the sparse book payload, so a restarted
+  engine resumes with equal books (satellite 1);
+* the flash-sale chaos soak holds tip parity through socket chaos
+  (satellite 6; ``chaos``+``realnet`` marked, wall-clock budgeted).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents.behaviors import ConcealBehavior, MisreportBehavior
+from repro.core.params import ProtocolParams
+from repro.core.protocol import ProtocolEngine
+from repro.core.reputation import ReputationBook, SparseWeightMap
+from repro.exceptions import ConfigurationError, TopologyError
+from repro.ledger.properties import check_all_properties
+from repro.network.topology import Topology, provider_id
+from repro.obs import MetricsRegistry
+from repro.streaming import (
+    CollectorMembers,
+    StreamingSession,
+    StreamingWorkload,
+    VirtualUniverse,
+    derived_rates,
+)
+from repro.streaming.scenarios import (
+    STREAM_SCENARIOS,
+    build_streaming_session,
+    stream_scenario_names,
+)
+from repro.streaming.universe import parse_provider_index
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.generator import (
+    BernoulliWorkload,
+    BurstyWorkload,
+    PerProviderWorkload,
+    TxSpec,
+)
+
+# ---------------------------------------------------------------------------
+# SparseWeightMap
+
+
+class TestSparseWeightMap:
+    def _map(self, members=("p0", "p1", "p2"), default=1.0):
+        return SparseWeightMap(list(members), default)
+
+    def test_default_readback_and_len(self):
+        m = self._map()
+        assert len(m) == 3
+        assert m["p1"] == 1.0
+        assert m.touched == 0
+
+    def test_override_and_reset(self):
+        m = self._map()
+        m["p1"] = 0.25
+        assert m["p1"] == 0.25
+        assert m.touched == 1
+        del m["p1"]  # resets to the default row, stays a member
+        assert m["p1"] == 1.0
+        assert m.touched == 0
+        assert "p1" in m
+
+    def test_unknown_member_raises(self):
+        m = self._map()
+        with pytest.raises(KeyError):
+            m["p99"]
+
+    def test_iteration_is_registration_order(self):
+        members = ["p4", "p0", "p2"]
+        m = SparseWeightMap(members, 1.0)
+        m["p2"] = 0.5
+        assert list(m) == members
+        assert list(m.values()) == [1.0, 1.0, 0.5]
+
+    def test_mass_counts_default_and_overrides(self):
+        m = self._map()
+        m["p0"] = 0.5
+        assert m.mass() == pytest.approx(0.5 + 2 * 1.0)
+
+    def test_nonpositive_default_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SparseWeightMap(["p0"], 0.0)
+
+    def test_mutation_bumps_owner_version(self):
+        book = ReputationBook(governor="g0", initial=1.0)
+        book.register_collector_sparse("c0", ["p0", "p1"])
+        vec = book.vector("c0")
+        before = vec._version
+        vec.provider_weights["p0"] = 0.5
+        assert vec._version > before
+
+    def test_export_restore_roundtrip_sparse(self):
+        book = ReputationBook(governor="g0", initial=1.0)
+        book.register_collector_sparse("c0", ["p0", "p1", "p2"])
+        book.vector("c0").provider_weights["p2"] = 0.125
+        state = book.export_state()
+        assert state["collectors"]["c0"]["overrides"] == {"p2": 0.125}
+        other = ReputationBook(governor="g0", initial=1.0)
+        other.register_collector_sparse("c0", ["p0", "p1", "p2"])
+        other.restore_state(state)
+        assert dict(other.vector("c0").provider_weights) == {
+            "p0": 1.0, "p1": 1.0, "p2": 0.125,
+        }
+
+    def test_export_restore_roundtrip_dense(self):
+        book = ReputationBook(governor="g0", initial=1.0)
+        book.register_collector("c0", ["p0", "p1"])
+        book.vector("c0").provider_weights["p1"] = 0.75
+        state = book.export_state()
+        other = ReputationBook(governor="g0", initial=1.0)
+        other.register_collector("c0", ["p0", "p1"])
+        other.restore_state(state)
+        assert dict(other.vector("c0").provider_weights) == {
+            "p0": 1.0, "p1": 0.75,
+        }
+
+
+# ---------------------------------------------------------------------------
+# CollectorMembers / VirtualUniverse vs the materialized circulant
+
+
+class TestCollectorMembers:
+    @pytest.mark.parametrize("l,n,r", [(8, 4, 2), (12, 4, 2), (16, 8, 4),
+                                       (24, 6, 3), (64, 8, 4)])
+    def test_agrees_with_topology_regular(self, l, n, r):
+        topo = Topology.regular(l=l, n=n, m=3, r=r)
+        universe = VirtualUniverse(universe=l, n=n, m=3, r=r)
+        for i, cid in enumerate(topo.collectors):
+            dense = topo.providers_of(cid)
+            members = universe.members_of(cid)
+            assert isinstance(members, CollectorMembers)
+            assert len(members) == len(dense)
+            assert list(members) == list(dense)
+            assert all(pid in members for pid in dense)
+            absent = [provider_id(k) for k in range(l)
+                      if provider_id(k) not in dense]
+            assert not any(pid in members for pid in absent)
+            for j in range(len(members)):
+                assert members[j] == dense[j]
+        for pid in topo.providers:
+            assert universe.collectors_of(pid) == topo.collectors_of(pid)
+
+    def test_contains_rejects_noncanonical_ids(self):
+        universe = VirtualUniverse(universe=8, n=4, m=2, r=2)
+        members = universe.members_of("c0")
+        assert "p007" not in members
+        assert "x3" not in members
+        assert "p999999" not in members
+
+    def test_parse_provider_index_strict(self):
+        assert parse_provider_index("p0") == 0
+        assert parse_provider_index("p41") == 41
+        assert parse_provider_index("p007") is None
+        assert parse_provider_index("c3") is None
+        assert parse_provider_index("p") is None
+
+    def test_degree_equation_enforced(self):
+        with pytest.raises(TopologyError):
+            VirtualUniverse(universe=10, n=4, m=2, r=3)  # 3*10 % 4 != 0
+
+    def test_index_out_of_range(self):
+        universe = VirtualUniverse(universe=8, n=4, m=2, r=2)
+        members = universe.members_of("c0")
+        with pytest.raises(IndexError):
+            members[len(members)]
+
+    def test_million_scale_is_lazy(self):
+        universe = VirtualUniverse(universe=1_000_000, n=8, m=4, r=4)
+        members = universe.members_of("c3")
+        assert len(members) == 500_000  # r/n of the universe
+        assert members[0] in members
+        assert universe.contains_provider("p999999")
+        assert not universe.contains_provider("p1000000")
+
+
+# ---------------------------------------------------------------------------
+# Sparse/dense engine equivalence (the ISSUE's acceptance criterion)
+
+
+def _run_engine(sparse: bool, seed: int, behaviors_for, rounds: int = 8):
+    topo = Topology.regular(l=12, n=4, m=3, r=2)
+    engine = ProtocolEngine(
+        topo,
+        ProtocolParams(f=0.5, b_limit=16),
+        seed=seed,
+        behaviors=behaviors_for(topo),
+        sparse_reputation=sparse,
+    )
+    workload = BernoulliWorkload(topo.providers, p_valid=0.7, seed=seed)
+    for _ in range(rounds):
+        engine.run_round(workload.take(10))
+    engine.run_round([])  # flush argued re-evaluations into a final block
+    engine.finalize()
+    tips = [g.ledger.tip_hash() for g in engine.governors.values()]
+    books = {
+        gid: {
+            cid: (
+                dict(gov.book.vector(cid).provider_weights),
+                gov.book.vector(cid).misreport,
+                gov.book.vector(cid).forge,
+            )
+            for cid in topo.collectors
+        }
+        for gid, gov in engine.governors.items()
+    }
+    return engine, tips, books
+
+
+MIXES = {
+    "honest": lambda topo: {},
+    "misreport": lambda topo: {topo.collectors[0]: MisreportBehavior(0.8)},
+    "conceal": lambda topo: {topo.collectors[1]: ConcealBehavior(0.6)},
+    "hostile": lambda topo: {
+        topo.collectors[0]: MisreportBehavior(0.5),
+        topo.collectors[2]: ConcealBehavior(0.5),
+    },
+}
+
+
+class TestSparseDenseEquivalence:
+    @pytest.mark.parametrize("mix", sorted(MIXES))
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_bit_identical_ledgers_and_books(self, mix, seed):
+        dense_eng, dense_tips, dense_books = _run_engine(
+            False, seed, MIXES[mix]
+        )
+        sparse_eng, sparse_tips, sparse_books = _run_engine(
+            True, seed, MIXES[mix]
+        )
+        assert dense_tips == sparse_tips
+        assert dense_books == sparse_books
+        report = check_all_properties(
+            sparse_eng.ledgers(), sparse_eng.transcript
+        )
+        assert report.all_hold
+
+    def test_sparse_rejects_partial_visibility(self):
+        from repro.network.visibility import VisibilityMap
+
+        topo = Topology.regular(l=8, n=4, m=2, r=2)
+        visibility = VisibilityMap.random_partial(topo, keep_fraction=0.5, seed=0)
+        with pytest.raises(ConfigurationError):
+            ProtocolEngine(
+                topo,
+                ProtocolParams(f=0.5),
+                seed=0,
+                visibility=visibility,
+                sparse_reputation=True,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Satellite 3: streaming vs materialized workload equivalence
+
+
+def _materialized(model: str, providers, seed: int):
+    if model == "bernoulli":
+        return BernoulliWorkload(providers, p_valid=0.5, seed=seed)
+    if model == "per_provider":
+        return PerProviderWorkload(
+            providers, seed=seed, rates=derived_rates(providers, seed)
+        )
+    return BurstyWorkload(providers, seed=seed)
+
+
+class TestStreamingWorkloadEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_providers=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        model=st.sampled_from(["bernoulli", "per_provider", "bursty"]),
+        count=st.integers(min_value=1, max_value=200),
+    )
+    def test_round_robin_stream_matches_materialized(
+        self, n_providers, seed, model, count
+    ):
+        providers = [provider_id(k) for k in range(n_providers)]
+        universe = VirtualUniverse(
+            universe=n_providers, n=n_providers, m=1, r=n_providers
+        )
+        streaming = StreamingWorkload(
+            universe, validity=model, selection="round_robin", seed=seed
+        )
+        materialized = _materialized(model, providers, seed)
+        assert streaming.take(count) == materialized.take(count)
+
+    def test_uniform_selection_leaves_validity_stream_alone(self):
+        # Selection draws come from a tagged side stream: the validity
+        # outcomes as a sequence must match round_robin's exactly.
+        universe = VirtualUniverse(universe=16, n=4, m=2, r=2)
+        rr = StreamingWorkload(universe, selection="round_robin", seed=9)
+        uni = StreamingWorkload(universe, selection="uniform", seed=9)
+        assert [s.is_valid for s in rr.take(64)] == [
+            s.is_valid for s in uni.take(64)
+        ]
+
+    def test_unknown_model_rejected(self):
+        universe = VirtualUniverse(universe=8, n=4, m=2, r=2)
+        with pytest.raises(ConfigurationError):
+            StreamingWorkload(universe, validity="weird")
+        with pytest.raises(ConfigurationError):
+            StreamingWorkload(universe, selection="weird")
+
+    def test_for_round_requires_arrivals(self):
+        universe = VirtualUniverse(universe=8, n=4, m=2, r=2)
+        workload = StreamingWorkload(universe)
+        with pytest.raises(ConfigurationError):
+            workload.for_round(1)
+
+
+# ---------------------------------------------------------------------------
+# StreamingSession lifecycle
+
+
+def _session(universe=64, retirement_rounds=2, seed=0, **kwargs):
+    virtual = VirtualUniverse(universe=universe, n=4, m=2, r=2)
+    return virtual, StreamingSession(
+        virtual,
+        ProtocolParams(f=0.5, b_limit=8),
+        seed=seed,
+        retirement_rounds=retirement_rounds,
+        **kwargs,
+    )
+
+
+def _specs(*pids, valid=True):
+    return [
+        TxSpec(provider=pid, payload={"seq": i, "from": pid}, is_valid=valid)
+        for i, pid in enumerate(pids)
+    ]
+
+
+class TestStreamingSession:
+    def test_instantiation_on_first_arrival(self):
+        _, session = _session()
+        assert session.active_providers == 0
+        session.run_round(_specs("p0", "p5"))
+        assert session.active_providers == 2
+        assert session.metrics.instantiations == 2
+        assert session.metrics.reinstantiations == 0
+
+    def test_retirement_after_idle_window(self):
+        _, session = _session(retirement_rounds=2)
+        session.run_round(_specs("p0"))
+        session.run_round(_specs("p1"))
+        session.run_round(_specs("p1"))  # p0 idle for 2 rounds -> retired
+        assert session.active_providers == 1
+        assert session.metrics.retirements == 1
+
+    def test_rearrival_restores_signing_continuity(self):
+        _, session = _session(retirement_rounds=1)
+        session.run_round(_specs("p0"))
+        nonce_before = session.providers["p0"]._nonce
+        session.run_round(_specs("p1"))
+        session.run_round(_specs("p1"))
+        assert "p0" not in session.providers  # retired
+        block = session.run_round(_specs("p0"))  # re-arrival
+        assert session.metrics.reinstantiations == 1
+        assert session.providers["p0"]._nonce > nonce_before
+        # The re-arrived provider's transaction committed, i.e. its
+        # signature verified against the original enrolment key.
+        assert any(
+            rec.tx.body.provider == "p0" for rec in block.tx_list
+        )
+
+    def test_backlog_spills_and_drains(self):
+        _, session = _session(retirement_rounds=None)
+        burst = _specs(*[f"p{k}" for k in range(20)])
+        session.run_round(burst)  # b_limit=8
+        assert session.backlog_depth == 12
+        session.run_round()
+        session.run_round()
+        assert session.backlog_depth == 0
+        assert session.metrics.transactions == 20
+        assert session.metrics.peak_backlog == 20
+
+    def test_outside_universe_arrival_rejected(self):
+        _, session = _session(universe=8)
+        with pytest.raises(ConfigurationError):
+            session.run_round(_specs("p8"))
+
+    def test_full_run_audits_clean_and_properties_hold(self):
+        virtual = VirtualUniverse(universe=128, n=4, m=2, r=2)
+        workload = StreamingWorkload(
+            virtual,
+            arrivals=PoissonArrivals(6.0, seed=3),
+            selection="uniform",
+            seed=3,
+            p_valid=0.8,
+        )
+        session = StreamingSession(
+            virtual, ProtocolParams(f=0.5, b_limit=16),
+            workload=workload, seed=3, retirement_rounds=3,
+        )
+        session.run(10)
+        session.finalize()
+        assert session.audit_report is not None
+        assert not session.audit_report.violations
+        report = check_all_properties(session.ledgers(), session.transcript)
+        assert report.all_hold
+
+    def test_metrics_registry_mirrors_counters(self):
+        reg = MetricsRegistry()
+        _, session = _session(obs=reg)
+        session.run_round(_specs("p0", "p1"))
+        names = set(reg.names())
+        assert {"stream_active_providers", "stream_instantiations_total",
+                "stream_retirements_total", "stream_backlog",
+                "stream_tx_total", "stream_peak_rss_bytes"} <= names
+
+    def test_behaviors_for_unknown_collector_rejected(self):
+        virtual = VirtualUniverse(universe=8, n=4, m=2, r=2)
+        with pytest.raises(ConfigurationError):
+            StreamingSession(
+                virtual, ProtocolParams(f=0.5),
+                behaviors={"c9": MisreportBehavior(0.5)},
+            )
+
+
+# ---------------------------------------------------------------------------
+# Scenario registry + domain oracles
+
+
+class TestStreamScenarios:
+    def test_registry_names(self):
+        assert stream_scenario_names() == sorted(STREAM_SCENARIOS)
+        assert {"stream-smoke", "supply-chain", "energy-trading",
+                "flash-sale"} <= set(stream_scenario_names())
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_streaming_session("nope")
+
+    @pytest.mark.parametrize("name", sorted(STREAM_SCENARIOS))
+    def test_preset_smoke(self, name):
+        runner, scenario = build_streaming_session(
+            name, seed=2, universe=2_000
+        )
+        runner.run(4)
+        report = runner.report()
+        audit_clean = (
+            report["audit_clean"] if isinstance(report, dict)
+            else report.audit_clean
+        )
+        assert audit_clean
+        assert runner.session.round_number >= 4
+
+    def test_supply_chain_counterparties_cross_linked(self):
+        from repro.apps.supplychain import SupplyChainProvenance
+
+        market = SupplyChainProvenance(universe=2_000, seed=5)
+        market.run(6)
+        report = market.report()
+        assert report.shipments_committed > 0
+        assert report.mean_chain_hops >= 2.0
+
+    def test_energy_flows_are_bidirectional(self):
+        from repro.apps.energy import EnergyMarket
+
+        market = EnergyMarket(universe=2_000, seed=5)
+        market.run(12)
+        report = market.report()
+        assert report.exported_kwh > 0
+        assert report.imported_kwh > 0
+
+    def test_flash_sale_cartel_fires(self):
+        from repro.apps.ticketing import FlashSaleTicketing
+
+        sale = FlashSaleTicketing(universe=5_000, seed=5)
+        sale.run(8)
+        report = sale.report()
+        assert report.cartel_suppressions > 0
+        assert report.peak_backlog > 0
+        assert report.audit_clean
+
+
+# ---------------------------------------------------------------------------
+# Satellite 1: books ride durable checkpoints across restarts
+
+
+class TestBookCheckpointRestart:
+    def _build(self, directory, seed=7):
+        from repro.core.netengine import NetworkedProtocolEngine
+        from repro.storage.durable import StorageConfig
+
+        topo = Topology.regular(l=12, n=4, m=3, r=2)
+        engine = NetworkedProtocolEngine(
+            topo,
+            ProtocolParams(f=0.5, delta=0.2, b_limit=16),
+            seed=seed,
+            behaviors={topo.collectors[0]: MisreportBehavior(0.8)},
+            storage=StorageConfig(directory=str(directory), checkpoint_interval=4),
+        )
+        return topo, engine
+
+    def _books(self, topo, engine):
+        return {
+            gid: {
+                cid: dict(gov.book.vector(cid).provider_weights)
+                for cid in topo.collectors
+            }
+            for gid, gov in engine.governors.items()
+        }
+
+    def test_restart_restores_equal_books(self, tmp_path):
+        topo, engine = self._build(tmp_path)
+        workload = BernoulliWorkload(topo.providers, p_valid=0.7, seed=7)
+        for _ in range(8):  # height 8 = 2 checkpoint intervals
+            engine.run_round(workload.take(10))
+        books_before = self._books(topo, engine)
+        touched = sum(
+            1 for g in books_before.values() for row in g.values()
+            for w in row.values() if w != 1.0
+        )
+        assert touched > 0  # the misreporter was actually penalised
+        assert engine.store.last_checkpoint_serial == engine.store.height
+
+        topo2, restarted = self._build(tmp_path)
+        assert restarted.store.height == engine.store.height
+        # The guaranteed invariant: restored books match the digest the
+        # checkpoint pinned at block-append time.  (Argue penalties that
+        # land later in the same round drift live books past the pin;
+        # this seed has none in the tail window, so full equality with
+        # the live books also holds.)
+        from repro.storage.checkpoints import reputation_digest
+
+        ckpt = restarted.recovery_report.checkpoint
+        restored_digest = reputation_digest(
+            {gid: gov.book for gid, gov in restarted.governors.items()}
+        )
+        assert restored_digest == ckpt.book_digest
+        assert self._books(topo2, restarted) == books_before
+
+    def test_tampered_book_state_falls_back_to_initial(self, tmp_path):
+        import json
+
+        topo, engine = self._build(tmp_path)
+        workload = BernoulliWorkload(topo.providers, p_valid=0.7, seed=7)
+        for _ in range(8):
+            engine.run_round(workload.take(10))
+
+        # Corrupt one restored weight while keeping the file's CRC valid:
+        # the digest check must reject the payload wholesale.
+        import zlib
+
+        ckpts = sorted(tmp_path.glob("checkpoint-*.json"))
+        doc = json.loads(ckpts[-1].read_text())
+        body = doc["checkpoint"]
+        gid = next(iter(body["book_state"]))
+        cid = next(iter(body["book_state"][gid]["collectors"]))
+        body["book_state"][gid]["collectors"][cid]["overrides"] = {"p0": 0.001}
+        encoded = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        doc["crc"] = zlib.crc32(encoded.encode())
+        ckpts[-1].write_text(json.dumps(doc, sort_keys=True))
+
+        topo2, restarted = self._build(tmp_path)
+        books = self._books(topo2, restarted)
+        assert all(
+            w == 1.0
+            for g in books.values() for row in g.values() for w in row.values()
+        )
+
+    def test_old_checkpoints_without_book_state_still_load(self, tmp_path):
+        # Backwards compatibility: a checkpoint written before the
+        # payload existed (book_state absent) must restore chain state
+        # and leave the books at their initial values.
+        import json
+
+        topo, engine = self._build(tmp_path)
+        workload = BernoulliWorkload(topo.providers, p_valid=0.7, seed=7)
+        for _ in range(8):
+            engine.run_round(workload.take(10))
+        for path in sorted(tmp_path.glob("checkpoint-*.json")):
+            import zlib
+
+            doc = json.loads(path.read_text())
+            body = doc["checkpoint"]
+            body.pop("book_state", None)
+            encoded = json.dumps(body, sort_keys=True, separators=(",", ":"))
+            doc["crc"] = zlib.crc32(encoded.encode())
+            path.write_text(json.dumps(doc, sort_keys=True))
+
+        topo2, restarted = self._build(tmp_path)
+        assert restarted.store.height == engine.store.height
+        assert restarted.recovery_report.checkpoint.book_state is None
+
+
+# ---------------------------------------------------------------------------
+# Satellite 6: flash-sale chaos soak (nightly; tiny default budget here)
+
+
+@pytest.mark.chaos
+@pytest.mark.realnet
+def test_flash_sale_chaos_soak_holds_tip_parity():
+    from repro.streaming.soak import chaos_soak
+
+    budget = float(os.environ.get("STREAM_SOAK_BUDGET_S", "5"))
+    report = chaos_soak(budget_s=budget, seed=3)
+    assert report.iterations >= 1
+    assert report.tips_matched == report.iterations
+    assert report.audits_clean == report.iterations
+    assert report.all_ok
